@@ -1,0 +1,95 @@
+"""Fig. 10: cycle breakdown and IPC per microservice.
+
+The paper uses vTune to split each tier's cycles into the top-down
+categories and read IPC, for the Social Network and E-commerce plus
+their monolithic counterparts.  Key shapes:
+
+* a large fraction of cycles — often the majority — stalls in the
+  processor front-end; only ~21 % retire on average (Social Network);
+* the monolith's breakdown is not drastically different, with slightly
+  **more** retiring than the microservice average (fewer network waits);
+* E-commerce's ``search`` (xapian) has high IPC and retiring; its
+  ``wishlist`` is so simple that i-cache misses are negligible; the ML
+  ``recommender`` has extremely low IPC.
+
+We regenerate the per-service profiles from the top-down core model
+over each service's architectural traits.
+"""
+
+from helpers import report, run_once
+
+from repro import build_app, build_monolith
+from repro.arch import CoreModel
+from repro.stats import format_table
+
+SHOWN = {
+    "social_network": ["nginx-web", "text", "image", "uniqueID",
+                       "userTag", "urlShorten", "video", "recommender",
+                       "login", "readPost", "writeGraph", "mc-posts",
+                       "mongo-posts"],
+    "ecommerce": ["front-end", "login", "orders", "search", "cart",
+                  "wishlist", "catalogue", "recommender", "shipping",
+                  "payment", "invoicing", "queueMaster", "mc-catalogue",
+                  "mongo-catalogue"],
+}
+
+
+def profile_app(app_name):
+    model = CoreModel()
+    app = build_app(app_name)
+    mono = build_monolith(app_name)
+    profiles = {}
+    for service in SHOWN[app_name]:
+        profiles[service] = model.profile(app.services[service].traits)
+    logic = [model.profile(svc.traits) for name, svc in app.services.items()
+             if name not in app.datastore_services()]
+    profiles["End-to-End"] = {
+        key: sum(p[key] for p in logic) / len(logic)
+        for key in logic[0]
+    }
+    profiles["Monolith"] = model.profile(
+        mono.services["monolith"].traits)
+    return profiles
+
+
+def render(app_name, profiles):
+    rows = []
+    for service, p in profiles.items():
+        rows.append([
+            service, f"{p['frontend']:.0%}", f"{p['bad_speculation']:.0%}",
+            f"{p['backend']:.0%}", f"{p['retiring']:.0%}",
+            f"{p['ipc']:.2f}",
+        ])
+    return format_table(
+        ["service", "front-end", "bad spec", "back-end", "retiring",
+         "IPC"],
+        rows, title=f"Fig. 10: cycle breakdown and IPC — {app_name}")
+
+
+def test_fig10_cycle_breakdown_and_ipc(benchmark):
+    def run():
+        return {name: profile_app(name) for name in SHOWN}
+
+    out = run_once(benchmark, run)
+    for app_name, profiles in out.items():
+        report(f"fig10_cycles_{app_name}", render(app_name, profiles))
+
+    sn = out["social_network"]
+    ec = out["ecommerce"]
+
+    # Front-end stalls are the single largest category for the
+    # kernel-heavy tiers, and retiring is a small minority everywhere.
+    for tier in ("mc-posts", "mongo-posts", "nginx-web"):
+        p = sn[tier]
+        assert p["frontend"] >= max(p["bad_speculation"], p["retiring"])
+    assert 0.10 < sn["End-to-End"]["retiring"] < 0.40
+
+    # The monolith retires slightly more than the microservice average
+    # (it waits on the network less) but its breakdown is not
+    # "drastically different".
+    assert ec["Monolith"]["frontend"] > 0.3
+
+    # E-commerce outliers called out in the paper.
+    assert ec["search"]["ipc"] > 1.0
+    assert ec["recommender"]["ipc"] < 0.5
+    assert ec["search"]["retiring"] > ec["End-to-End"]["retiring"]

@@ -1,0 +1,60 @@
+"""Fig. 11: L1-i MPKI per microservice, Social Network and E-commerce.
+
+Paper shapes: nginx, memcached, MongoDB and *especially* the monoliths
+keep the high i-cache pressure known from classic cloud studies, while
+the single-concern microservices — having tiny code footprints — miss
+far less, with simple tiers like E-commerce's ``wishlist`` practically
+negligible.  Most Social-Network misses come from the kernel (Thrift).
+"""
+
+from helpers import report, run_once
+
+from repro import build_app, build_monolith
+from repro.arch import CoreModel
+from repro.stats import format_table
+
+APPS = ["social_network", "ecommerce"]
+
+
+def mpki_table(app_name):
+    model = CoreModel()
+    app = build_app(app_name)
+    mono = build_monolith(app_name)
+    out = {name: model.l1i_mpki(svc.traits)
+           for name, svc in app.services.items()}
+    out["Monolith"] = model.l1i_mpki(mono.services["monolith"].traits)
+    return out
+
+
+def test_fig11_icache_pressure(benchmark):
+    def run():
+        return {name: mpki_table(name) for name in APPS}
+
+    out = run_once(benchmark, run)
+    for app_name, table in out.items():
+        rows = [[svc, f"{mpki:.1f}"] for svc, mpki in
+                sorted(table.items(), key=lambda kv: -kv[1])]
+        report(f"fig11_icache_{app_name}", format_table(
+            ["service", "L1i MPKI"], rows,
+            title=f"Fig. 11: L1-i MPKI — {app_name}"))
+
+    sn = out["social_network"]
+    ec = out["ecommerce"]
+
+    # The monolith dominates everything (paper: ~70 MPKI).
+    assert sn["Monolith"] > 55
+    assert sn["Monolith"] == max(sn.values())
+    assert ec["Monolith"] == max(ec.values())
+
+    # Classic cloud components keep high pressure...
+    for infra in ("nginx-web", "mc-posts", "mongo-posts"):
+        assert sn[infra] > 15, infra
+    # ...while small single-concern microservices miss far less.
+    for small in ("uniqueID", "urlShorten"):
+        assert sn[small] < 10, small
+    assert ec["wishlist"] < 8
+
+    # Microservice average is well below the monolith.
+    micro_avg = sum(v for k, v in sn.items() if k != "Monolith") / \
+        (len(sn) - 1)
+    assert micro_avg < 0.6 * sn["Monolith"]

@@ -1,0 +1,68 @@
+"""Fig. 13: Xeon vs. frequency-equalized Xeon vs. Cavium ThunderX.
+
+The paper runs every end-to-end service on a high-end Xeon, the same
+Xeon capped to 1.8 GHz, and a ThunderX board (96 in-order cores at
+1.8 GHz), and reports throughput at the QoS point.  Shapes:
+
+* ThunderX meets QoS at low load but saturates far earlier than the
+  Xeon on every service;
+* Social Network and Media saturate earliest on ThunderX (strictest
+  latency), E-commerce suffers because it is compute-intensive;
+* the Xeon at 1.8 GHz, although worse than nominal, still clearly
+  outperforms the ThunderX — frequency alone does not explain the gap
+  (single-thread microarchitecture does).
+
+We compute max-QPS-under-QoS per (app x platform) with the analytic
+backend over balanced-provisioned deployments of equal core counts.
+"""
+
+from helpers import report, run_once
+
+from repro import AnalyticModel, balanced_provision, build_app
+from repro.arch import THUNDERX, XEON, XEON_1P8
+from repro.stats import format_table
+
+APPS = ["social_network", "media_service", "ecommerce", "banking",
+        "swarm_cloud"]
+PLATFORMS = {"Xeon": XEON, "Xeon@1.8": XEON_1P8, "ThunderX": THUNDERX}
+
+
+def goodput(app, platform):
+    replicas = balanced_provision(app, target_qps=200, target_util=0.55)
+    model = AnalyticModel(app, replicas=replicas, cores=2,
+                          platform=platform)
+    return model.max_qps_under(app.qos_latency)
+
+
+def test_fig13_brawny_vs_wimpy(benchmark):
+    def run():
+        out = {}
+        for name in APPS:
+            app = build_app(name)
+            out[name] = {label: goodput(app, platform)
+                         for label, platform in PLATFORMS.items()}
+        return out
+
+    out = run_once(benchmark, run)
+    rows = [[name] + [f"{out[name][label]:.0f}" for label in PLATFORMS]
+            for name in APPS]
+    report("fig13_platforms", format_table(
+        ["service"] + [f"max QPS@QoS ({label})" for label in PLATFORMS],
+        rows, title="Fig. 13: throughput at QoS per platform"))
+
+    for name in APPS:
+        xeon, xeon18, thunder = (out[name]["Xeon"], out[name]["Xeon@1.8"],
+                                 out[name]["ThunderX"])
+        # ThunderX can meet QoS at SOME load for the relaxed-QoS apps,
+        # but always saturates far earlier than the full-speed Xeon.
+        assert thunder < 0.6 * xeon, name
+        # The frequency-equalized Xeon still beats ThunderX soundly:
+        # in-order cores, not clocks, are the bottleneck.
+        assert xeon18 > 1.5 * thunder, name
+        # Capping frequency does cost the Xeon throughput.
+        assert xeon18 < xeon, name
+
+    # The strict-latency services suffer the most on ThunderX.
+    ratio = {name: out[name]["ThunderX"] / out[name]["Xeon"]
+             for name in APPS}
+    assert ratio["social_network"] <= ratio["swarm_cloud"]

@@ -1,0 +1,88 @@
+"""Fig. 14: cycles and instructions in kernel vs. user vs. libraries.
+
+The paper breaks each end-to-end service's execution into OS (kernel),
+user code, and libraries, for both cycles (C) and instructions (I).
+Shapes:
+
+* Social Network and Media spend the largest fraction in the kernel
+  (memcached-heavy, high network traffic);
+* E-commerce and Banking are more computationally intensive and spend
+  more time in user mode;
+* Swarm (especially the edge flavor) spends almost half its time in
+  libraries (image processing stacks);
+* instruction shares skew away from the kernel relative to cycle shares
+  (kernel code runs at lower IPC).
+
+We run each service briefly, weight every tier's kernel/user/library
+traits by the CPU time it actually consumed (application + network
+processing, the latter fully in the kernel), and render the C and I
+bars.
+"""
+
+from helpers import report, run_once
+
+from repro import build_app, simulate
+from repro.arch import instruction_breakdown, weighted_breakdown
+from repro.arch.attribution import ExecutionBreakdown
+from repro.stats import format_table
+
+APPS = ["social_network", "media_service", "ecommerce", "banking",
+        "swarm_cloud", "swarm_edge"]
+
+
+def attribute(app_name, qps=60, duration=8.0, seed=31):
+    app = build_app(app_name)
+    edge = 24 if any(z == "edge" for z in app.service_zones.values()) \
+        else 0
+    result = simulate(app, qps=qps, duration=duration, n_machines=4,
+                      edge_machines=edge, seed=seed)
+    cpu = result.deployment.total_cpu_seconds()
+    app_seconds = {name: split["app"] for name, split in cpu.items()}
+    traits = {name: svc.traits for name, svc in app.services.items()}
+    cycles_app = weighted_breakdown(app_seconds, traits)
+    # Network processing burns kernel cycles in the TCP stack.
+    net = sum(split["net"] for split in cpu.values())
+    total = net + sum(app_seconds.values())
+    w_app = sum(app_seconds.values()) / total
+    cycles = ExecutionBreakdown(
+        os=cycles_app.os * w_app + (net / total),
+        user=cycles_app.user * w_app,
+        libs=cycles_app.libs * w_app)
+    return cycles, instruction_breakdown(cycles)
+
+
+def test_fig14_os_user_libs(benchmark):
+    def run():
+        return {name: attribute(name) for name in APPS}
+
+    out = run_once(benchmark, run)
+    rows = []
+    for name, (cycles, instructions) in out.items():
+        rows.append([name, "cycles", f"{cycles.os:.0%}",
+                     f"{cycles.user:.0%}", f"{cycles.libs:.0%}"])
+        rows.append([name, "instr", f"{instructions.os:.0%}",
+                     f"{instructions.user:.0%}", f"{instructions.libs:.0%}"])
+    report("fig14_os_user", format_table(
+        ["service", "metric", "OS", "user", "libs"], rows,
+        title="Fig. 14: kernel / user / library attribution"))
+
+    cycles = {name: c for name, (c, _) in out.items()}
+    instrs = {name: i for name, (_, i) in out.items()}
+
+    # Social Network and Media are the most kernel-skewed.
+    for heavy in ("social_network", "media_service"):
+        for light in ("ecommerce", "banking"):
+            assert cycles[heavy].os > cycles[light].os
+    # E-commerce and Banking spend more time in user mode than the
+    # kernel-heavy services.
+    assert cycles["banking"].user > cycles["social_network"].user
+    # Swarm leans hardest on libraries (Sec. 5: "almost half").
+    assert cycles["swarm_edge"].libs == max(c.libs
+                                            for c in cycles.values())
+    assert cycles["swarm_edge"].libs > 0.3
+    # Instructions skew away from the kernel vs cycles, for every app.
+    for name in APPS:
+        assert instrs[name].os < cycles[name].os
+    # Kernel time is substantial everywhere (> 25% of cycles).
+    for name in APPS:
+        assert cycles[name].os > 0.25

@@ -1,0 +1,108 @@
+"""Fig. 16: FPGA acceleration of the RPC/TCP stack.
+
+The paper offloads the entire TCP stack to a bump-in-the-wire Virtex-7
+between NIC and ToR: network processing latency improves 10-68x over
+native TCP, and end-to-end tail latency improves by 43% up to 2.2x
+across the end-to-end services.
+
+We run each application at moderate load with and without
+:class:`~repro.net.fpga.FpgaOffload` on the deployment fabric, and
+compare (a) mean per-message network-processing time and (b) end-to-end
+p99.
+"""
+
+from helpers import congested_capacity, edge_speed_map, report, run_once
+
+from repro import build_app
+from repro.cluster import Cluster
+from repro.core import Deployment, run_experiment
+from repro.arch import DRONE_SOC, XEON
+from repro.net import FpgaOffload
+from repro.sim import Environment
+from repro.stats import format_table
+from repro.tracing import per_service_breakdown
+
+APPS = ["social_network", "media_service", "ecommerce", "banking",
+        "swarm_cloud", "swarm_edge"]
+
+
+def run_app(app_name, fpga, load_fraction=0.7, seed=51):
+    env = Environment()
+    app = build_app(app_name)
+    cluster = Cluster.homogeneous(env, XEON, 6)
+    if any(z == "edge" for z in app.service_zones.values()):
+        cluster = cluster.merge(Cluster.homogeneous(
+            env, DRONE_SOC, 24, zone="edge", name_prefix="drone"))
+    # Offloading matters under load: TCP work competes with application
+    # work for the same cores (and congests superlinearly), so removing
+    # it also deflates app queueing.  Run at 55% of nominal capacity —
+    # the congestion-inflated *effective* utilization is much higher —
+    # with the same load for both configurations so the comparison is
+    # fair.
+    from repro import AnalyticModel, balanced_provision
+    replicas = balanced_provision(app, target_qps=150, target_util=0.5)
+    speed = edge_speed_map(app)
+    for name in speed:
+        replicas[name] = 24  # one replica per drone
+    model = AnalyticModel(app, replicas=replicas, cores=2,
+                          service_speed=speed)
+    # Use the congestion-aware capacity: at high net shares the kernel
+    # congestion term shrinks the stable region well below the nominal
+    # saturation point, and a secretly-saturated native run would
+    # produce absurd "speedups".
+    capacity = congested_capacity(model)
+    qps = load_fraction * capacity
+    cores = {name: 1 for name in speed}
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores=cores, seed=seed)
+    deployment.fabric.fpga = fpga
+    duration = max(4.0, min(12.0, 6000.0 / qps))
+    result = run_experiment(deployment, qps, duration=duration,
+                            seed=seed + 1)
+    traces = [t for t in result.collector.traces
+              if t.start >= result.warmup]
+    breakdown = per_service_breakdown(traces)
+    # Mean network *processing* per span (host TCP CPU or FPGA offload
+    # latency) — excludes wire propagation, which no offload removes.
+    per_span_net = sum(b["net_process"] * b["count"]
+                       for b in breakdown.values()) \
+        / sum(b["count"] for b in breakdown.values())
+    return per_span_net, result.tail(0.99)
+
+
+def test_fig16_fpga_offload(benchmark):
+    def run():
+        out = {}
+        for name in APPS:
+            native_net, native_tail = run_app(name, fpga=None)
+            fpga_net, fpga_tail = run_app(name, fpga=FpgaOffload())
+            out[name] = {
+                "net_speedup": native_net / fpga_net,
+                "tail_speedup": native_tail / fpga_tail,
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    rows = [[name, f"{v['net_speedup']:.1f}x", f"{v['tail_speedup']:.2f}x"]
+            for name, v in out.items()]
+    report("fig16_fpga", format_table(
+        ["service", "network processing speedup", "end-to-end speedup"],
+        rows, title="Fig. 16: FPGA TCP offload speedups"))
+
+    for name, v in out.items():
+        # Network-processing speedup sits in the paper's 10-68x band
+        # (queueing effects can push the measured ratio past the raw
+        # offload factor, so the upper check is loose).
+        assert v["net_speedup"] > 8.0, name
+        # End-to-end latency does not materially regress and never
+        # exceeds ~4x (the wifi-bound swarm paths gain ~nothing end to
+        # end; small negatives are run-to-run noise).
+        assert 0.85 < v["tail_speedup"] < 4.0, name
+    # The datacenter-resident RPC services gain substantially
+    # end-to-end (paper: 43% up to 2.2x); the wifi-bound swarm paths
+    # gain least, since propagation dominates their tails.
+    assert out["social_network"]["tail_speedup"] > 1.2
+    assert out["social_network"]["tail_speedup"] > \
+        out["swarm_edge"]["tail_speedup"]
+    # The best end-to-end gain approaches the paper's 1.43x-2.2x band.
+    assert max(v["tail_speedup"] for v in out.values()) > 1.3

@@ -1,0 +1,175 @@
+"""Fig. 21: serverless (AWS Lambda) vs. provisioned EC2.
+
+Top: latency distributions (p5/p25/p50/p75/p95) and cost for each of
+the five end-to-end services on (a) dedicated EC2 containers, (b)
+Lambda passing state through S3, (c) Lambda passing state through
+remote memory.  Paper shapes: Lambda-on-S3 is by far the slowest
+(remote-storage indirection and rate limiting); Lambda-on-memory
+removes most of that but stays more variable than EC2; Lambda costs
+almost an order of magnitude less than EC2, with Lambda(mem) somewhat
+above Lambda(S3).
+
+Bottom: a compressed diurnal trace replayed against EC2-with-autoscaler
+(70% threshold) vs. Lambda: EC2 wins at low load, but when load ramps
+Lambda adapts instantly while EC2 lags behind its autoscaler, inflating
+tails during the ramp.
+"""
+
+from helpers import report, run_once
+
+from repro import balanced_provision, build_app
+from repro.arch import EC2_M5
+from repro.cluster import Cluster, UtilizationAutoscaler
+from repro.core import Deployment, run_experiment
+from repro.serverless import Ec2CostModel, LambdaConfig, LambdaDeployment
+from repro.sim import Environment
+from repro.stats import format_table, summarize
+from repro.workload import diurnal
+
+APPS = ["social_network", "media_service", "ecommerce", "banking",
+        "swarm_cloud"]
+RUN_S = 30.0
+BILLED_S = 600.0  # report costs for a 10-minute window as in the paper
+QPS = 40
+
+
+def run_ec2(app_name, seed=91):
+    env = Environment()
+    app = build_app(app_name)
+    replicas = balanced_provision(app, target_qps=2 * QPS,
+                                  target_util=0.5)
+    n_machines = 20  # paper: each service uses 20-64 m5.12xlarge
+    cluster = Cluster.homogeneous(env, EC2_M5, n_machines)
+    cores = None
+    edge_services = [n for n in app.services
+                     if app.zone_of(n) == "edge"]
+    if edge_services:
+        from repro.arch import DRONE_SOC
+        cluster = cluster.merge(Cluster.homogeneous(
+            env, DRONE_SOC, 24, zone="edge", name_prefix="drone"))
+        for name in edge_services:
+            replicas[name] = 24
+        cores = {name: 1 for name in edge_services}
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores=cores, seed=seed)
+    result = run_experiment(deployment, QPS, duration=RUN_S,
+                            seed=seed + 1)
+    cost = Ec2CostModel().cost_fixed(n_machines, BILLED_S)
+    return summarize(result.latencies()), cost
+
+
+def run_lambda(app_name, backend, seed=92):
+    env = Environment()
+    app = build_app(app_name)
+    deployment = LambdaDeployment(env, app,
+                                  LambdaConfig(state_backend=backend),
+                                  seed=seed)
+    result = run_experiment(deployment, QPS, duration=RUN_S,
+                            seed=seed + 1)
+    cost = deployment.cost_usd(RUN_S) * (BILLED_S / RUN_S)
+    return summarize(result.latencies()), cost
+
+
+def run_diurnal(kind, seed=93):
+    """Compressed diurnal load replay (Fig. 21 bottom).
+
+    Time-dilated configuration (see bench_fig19_cascade): the EC2
+    deployment is provisioned near its base-load operating point, so
+    the compressed ramp genuinely outruns the 70 %-threshold
+    autoscaler's reaction time — the paper's 'initializing new
+    resources is not instantaneous' effect."""
+    env = Environment()
+    app = build_app("social_network").with_work_scaled(50.0)
+    pattern = diurnal(base_qps=20, peak_qps=420, period=240.0,
+                      peak_at=0.5)
+    if kind == "ec2":
+        replicas = balanced_provision(app, target_qps=40,
+                                      target_util=0.5,
+                                      cores_per_replica=1)
+        cluster = Cluster.homogeneous(env, EC2_M5, 24)
+        deployment = Deployment(env, app, cluster, replicas=replicas,
+                                cores={name: 1 for name in app.services},
+                                seed=seed)
+        scaler = UtilizationAutoscaler(env, deployment, period=15.0,
+                                       scale_out_threshold=0.7,
+                                       startup_delay=30.0, cooldown=5.0,
+                                       max_instances=64)
+        scaler.start()
+    else:
+        deployment = LambdaDeployment(
+            env, app, LambdaConfig(state_backend="memory"), seed=seed)
+    result = run_experiment(deployment, pattern, duration=240.0,
+                            warmup=5.0, seed=seed + 1)
+    return result.collector.end_to_end.timeseries(bucket=20.0, p=0.95)
+
+
+def test_fig21_serverless_performance_and_cost(benchmark):
+    def run():
+        out = {}
+        for name in APPS:
+            out[name] = {
+                "EC2": run_ec2(name),
+                "Lambda(S3)": run_lambda(name, "s3"),
+                "Lambda(mem)": run_lambda(name, "memory"),
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    rows = []
+    for name, configs in out.items():
+        for label, (stats, cost) in configs.items():
+            rows.append([name, label,
+                         f"{stats['p50'] * 1e3:.1f}",
+                         f"{stats['p95'] * 1e3:.1f}",
+                         f"${cost:.2f}"])
+    report("fig21_serverless", format_table(
+        ["service", "deployment", "p50 (ms)", "p95 (ms)",
+         "cost (10 min)"],
+        rows, title="Fig. 21 top: EC2 vs Lambda performance and cost"))
+
+    for name, configs in out.items():
+        ec2_stats, ec2_cost = configs["EC2"]
+        s3_stats, s3_cost = configs["Lambda(S3)"]
+        mem_stats, mem_cost = configs["Lambda(mem)"]
+        # Latency: EC2 < Lambda(mem) < Lambda(S3), S3 dramatically so.
+        assert ec2_stats["p50"] < mem_stats["p50"] < s3_stats["p50"], name
+        assert s3_stats["p50"] > 3 * mem_stats["p50"], name
+        # Lambda(mem) is more variable than EC2 (placement jitter and
+        # interference from co-scheduled functions): absolute p50->p95
+        # spread is several times wider.  (Not checked for the swarm,
+        # whose spread is wifi-dominated in both deployments.)
+        if name != "swarm_cloud":
+            assert (mem_stats["p95"] - mem_stats["p50"]) > \
+                2.0 * (ec2_stats["p95"] - ec2_stats["p50"]), name
+        # Cost: EC2 is ~an order of magnitude above either Lambda.
+        assert ec2_cost > 4 * s3_cost, name
+        assert ec2_cost > 4 * mem_cost, name
+
+
+def test_fig21_diurnal_elasticity(benchmark):
+    def run():
+        return {kind: run_diurnal(kind) for kind in ("ec2", "lambda")}
+
+    series = run_once(benchmark, run)
+    rows = []
+    for kind, points in series.items():
+        for t, v in points:
+            rows.append([kind, f"{t:.0f}",
+                         f"{v * 1e3:.1f}" if v == v else "nan"])
+    report("fig21_diurnal", format_table(
+        ["deployment", "time (s)", "p95 (ms)"], rows,
+        title="Fig. 21 bottom: diurnal load, EC2 autoscaling vs Lambda"))
+
+    def vals(kind, lo, hi):
+        return [v for t, v in series[kind] if lo <= t < hi and v == v]
+
+    # During the ramp to peak, EC2's autoscaler lags and its tail
+    # inflates far more than Lambda's (which absorbs load instantly);
+    # the low-load superiority of EC2 is established by the top test.
+    ec2_ramp = max(vals("ec2", 80, 160))
+    ec2_base = min(vals("ec2", 20, 60))
+    lam_ramp = max(vals("lambda", 80, 160))
+    lam_base = min(vals("lambda", 20, 60))
+    assert (ec2_ramp / ec2_base) > 2.0 * (lam_ramp / lam_base)
+    # Lambda's tail stays essentially flat through the ramp.
+    assert lam_ramp < 1.5 * lam_base

@@ -1,0 +1,73 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment once under ``benchmark.pedantic`` (these are scientific
+reproductions, not microbenchmarks — one round is the measurement),
+prints the paper-style rows/series, and persists them under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["report", "run_once", "edge_speed_map", "congested_capacity",
+           "RESULTS_DIR"]
+
+
+def congested_capacity(model, coeff=1.5, max_util=0.9):
+    """Capacity accounting for the fabric's kernel-congestion term.
+
+    Per tier, utilization solves ``u = rho * (1 + coeff*s*u^2)`` where
+    ``s`` is the tier's network share of demand; beyond a critical
+    offered load the fixed point disappears (runaway congestion).  The
+    max stable ``rho`` is ``u/(1+k*u^2)`` at ``u = min(max_util,
+    1/sqrt(k))``; the app capacity is the min over tiers."""
+    import math
+
+    cap = math.inf
+    for service, demand in model.demands.items():
+        if demand.visits <= 0:
+            continue
+        per_visit = model.service_time(service)
+        if per_visit <= 0:
+            continue
+        servers = model.replicas_of(service) * model.cores_of(service)
+        share = demand.net_work / demand.total_work \
+            if demand.total_work > 0 else 0.0
+        k = coeff * share
+        u_lim = min(max_util, 1.0 / math.sqrt(k)) if k > 0 else max_util
+        rho_max = u_lim / (1.0 + k * u_lim * u_lim)
+        cap = min(cap, rho_max * servers / (demand.visits * per_visit))
+    return cap
+
+
+def edge_speed_map(app):
+    """Core-speed overrides for an app's edge-pinned services.
+
+    The Swarm edge tiers run on drone SoCs, not Xeons; capacity
+    estimates from :class:`repro.analytic.AnalyticModel` must account
+    for that or load targets overdrive the drones by ~20x."""
+    from repro.arch import DRONE_SOC
+
+    speed = DRONE_SOC.core_speed(DRONE_SOC.nominal_freq_ghz)
+    return {name: speed for name in app.services
+            if app.zone_of(name) == "edge"}
+
+
+def report(name: str, text: str) -> str:
+    """Print a figure/table reproduction and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""Capacity planning a Social Network deployment.
+
+The workflow an operator would run before launch, using the analytic
+toolkit end to end — no simulation required:
+
+1. size the memcached tiers for a target hit ratio with Che's
+   approximation (LRU under Zipf popularity);
+2. provision replicas for the target load (Sec. 3.8's balanced
+   provisioning);
+3. decompose the end-to-end QoS target into per-tier latency budgets
+   and check none is binding;
+4. compare hardware platforms for the same deployment (Fig. 13);
+5. validate the plan with one short simulation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import AnalyticModel, balanced_provision, build_app, simulate
+from repro.analytic import (
+    aggregate_hit_ratio,
+    cache_size_for_hit_ratio,
+    latency_budgets,
+    zipf_weights,
+)
+from repro.arch import THUNDERX, XEON, XEON_1P8
+from repro.stats import format_table
+
+TARGET_QPS = 400
+
+
+def size_caches():
+    """How much memcached does a 70% hit ratio need for 1M posts whose
+    popularity follows Zipf(0.9)?"""
+    weights = zipf_weights(100_000, 0.9)  # 100k-key model of the corpus
+    rows = []
+    for target in (0.5, 0.7, 0.9):
+        size = cache_size_for_hit_ratio(weights, target)
+        rows.append([f"{target:.0%}", size,
+                     f"{aggregate_hit_ratio(weights, size):.1%}"])
+    print(format_table(
+        ["target hit ratio", "cache size (objects)", "achieved"],
+        rows, title="1. memcached sizing (Che's approximation)"))
+    print()
+
+
+def provision_and_budget(app):
+    replicas = balanced_provision(app, target_qps=TARGET_QPS,
+                                  target_util=0.6)
+    print(f"2. balanced provisioning for {TARGET_QPS} QPS: "
+          f"{sum(replicas.values())} replicas; busiest tiers: "
+          f"{dict(sorted(replicas.items(), key=lambda kv: -kv[1])[:4])}")
+    print()
+
+    budgets = latency_budgets(app, qps=TARGET_QPS, replicas=replicas,
+                              cores=2)
+    rows = [[b.service, f"{b.budget * 1e3:.2f}",
+             f"{b.p99_response * 1e3:.2f}",
+             "VIOLATED" if b.violated else f"{b.slack * 1e3:.2f}"]
+            for b in budgets[:8]]
+    print(format_table(
+        ["tier", "budget (ms)", "p99 (ms)", "slack (ms)"],
+        rows, title="3. tightest per-tier latency budgets"))
+    print()
+    return replicas
+
+
+def compare_platforms(app, replicas):
+    rows = []
+    for label, platform in [("Xeon", XEON), ("Xeon@1.8", XEON_1P8),
+                            ("ThunderX", THUNDERX)]:
+        model = AnalyticModel(app, replicas=replicas, cores=2,
+                              platform=platform)
+        rows.append([label,
+                     f"{model.max_qps_under(app.qos_latency):.0f}"])
+    print(format_table(["platform", "max QPS at QoS"], rows,
+                       title="4. platform comparison (Fig. 13)"))
+    print()
+
+
+def validate(app, replicas):
+    result = simulate(app, qps=TARGET_QPS, duration=12.0, n_machines=8,
+                      replicas=replicas, seed=23)
+    print(f"5. validation run: p99 = {result.tail() * 1e3:.2f} ms "
+          f"(QoS {app.qos_latency * 1e3:.0f} ms) -> "
+          f"{'PASS' if result.qos_met() else 'FAIL'}")
+
+
+def main():
+    app = build_app("social_network")
+    size_caches()
+    replicas = provision_and_budget(app)
+    compare_platforms(app, replicas)
+    validate(app, replicas)
+
+
+if __name__ == "__main__":
+    main()

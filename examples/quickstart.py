@@ -1,0 +1,58 @@
+"""Quickstart: deploy the Social Network and measure it under load.
+
+Builds the Social Network application (36 microservices, Fig. 4 of the
+paper), provisions it for a target load with the balanced-provisioning
+algorithm of Sec. 3.8, runs an open-loop workload against a simulated
+Xeon cluster, and prints throughput, tail latency, and the per-tier
+utilization the provisioner produced.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticModel,
+    DeathStarBench,
+    balanced_provision,
+    simulate,
+)
+from repro.stats import format_table
+
+
+def main():
+    suite = DeathStarBench()
+    print("The DeathStarBench suite:")
+    print(suite.table1())
+    print()
+
+    app = suite.build("social_network")
+    target_qps = 300
+    replicas = balanced_provision(app, target_qps=target_qps,
+                                  target_util=0.6)
+    print(f"Balanced provisioning for {target_qps} QPS: "
+          f"{sum(replicas.values())} replicas across "
+          f"{app.unique_microservices} services")
+    uneven = {k: v for k, v in replicas.items() if v > 1}
+    print(f"Tiers needing more than one replica: {uneven}")
+    print()
+
+    # Predict with the analytic backend, then measure with the DES.
+    model = AnalyticModel(app, replicas=replicas, cores=2)
+    predicted = model.tail(200, p=0.99)
+
+    result = simulate(app, qps=200, duration=30.0, n_machines=8,
+                      replicas=replicas, seed=7)
+    rows = [
+        ["throughput (req/s)", f"{result.throughput():.1f}"],
+        ["mean latency (ms)", f"{result.mean_latency() * 1e3:.2f}"],
+        ["p95 latency (ms)", f"{result.tail(0.95) * 1e3:.2f}"],
+        ["p99 latency (ms)", f"{result.tail(0.99) * 1e3:.2f}"],
+        ["p99 predicted by queueing model (ms)", f"{predicted * 1e3:.2f}"],
+        ["QoS target (ms)", f"{app.qos_latency * 1e3:.1f}"],
+        ["QoS met", str(result.qos_met())],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="Social Network at 200 QPS"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Swarm coordination: process on the drones or in the cloud?
+
+Reproduces the paper's Fig. 9 trade-off at example scale.  Image
+recognition is compute-bound: at trivial load the drones answer faster
+(no wifi round trip) but saturate almost immediately, while the cloud
+rides up to much higher request rates.  Obstacle avoidance is cheap and
+latency-critical: offloading it to the cloud costs the full wireless
+RTT — dangerous for safety-critical route adjustment.
+
+Run:  python examples/swarm_edge_vs_cloud.py
+"""
+
+import math
+
+from repro import Deployment, build_app, run_experiment
+from repro.arch import DRONE_SOC, XEON
+from repro.cluster import Cluster
+from repro.sim import Environment
+from repro.stats import format_table
+
+N_DRONES = 24
+
+
+def measure(app_name, op, qps):
+    env = Environment()
+    app = build_app(app_name)
+    cluster = Cluster.homogeneous(env, XEON, 4).merge(
+        Cluster.homogeneous(env, DRONE_SOC, N_DRONES, zone="edge",
+                            nic_bandwidth_kb_s=6e3, name_prefix="drone"))
+    replicas = {}
+    cores = {}
+    for name in app.services:
+        if app.zone_of(name) == "edge":
+            replicas[name], cores[name] = N_DRONES, 1
+        else:
+            replicas[name], cores[name] = 2, 4
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores=cores, seed=5)
+    result = run_experiment(deployment, qps, duration=8.0,
+                            mix={op: 1.0}, seed=6)
+    if result.completion_ratio() < 0.7 or len(result.latencies()) < 20:
+        return math.inf
+    return result.tail(0.95)
+
+
+def sweep(op, qps_list):
+    rows = []
+    for qps in qps_list:
+        edge = measure("swarm_edge", op, qps)
+        cloud = measure("swarm_cloud", op, qps)
+        rows.append([
+            qps,
+            f"{edge * 1e3:.1f}" if math.isfinite(edge) else "saturated",
+            f"{cloud * 1e3:.1f}" if math.isfinite(cloud) else "saturated",
+        ])
+    print(format_table(["QPS", "edge p95 (ms)", "cloud p95 (ms)"], rows,
+                       title=f"{op}: edge vs cloud"))
+    print()
+
+
+def main():
+    sweep("recognizeImage", [2, 5, 10, 20, 40, 80])
+    sweep("avoidObstacle", [5, 15, 30, 60])
+    print("Takeaway: run compute-hungry image recognition in the cloud "
+          "(it sustains far higher load), but keep latency-critical "
+          "obstacle avoidance on the drone.")
+
+
+if __name__ == "__main__":
+    main()

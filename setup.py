@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+installs (no ``bdist_wheel``); with this file present, ``pip install -e .``
+falls back to ``setup.py develop``, which works.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

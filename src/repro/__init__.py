@@ -1,0 +1,53 @@
+"""repro — a reproduction of DeathStarBench (ASPLOS 2019) in Python.
+
+An open-source benchmark suite for microservices, rebuilt as a
+high-fidelity discrete-event simulation: the six end-to-end
+applications (social network, media service, e-commerce, banking, and
+the two drone-swarm configurations), the cluster/network/architecture
+substrates they run on, distributed tracing, autoscaling, a serverless
+deployment model, and the experiment harness that regenerates every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import DeathStarBench, simulate
+
+    suite = DeathStarBench()
+    app = suite.build("social_network")
+    result = simulate(app, qps=100, duration=30.0)
+    print(result.tail(0.99), result.throughput())
+"""
+
+from .analytic import AnalyticModel
+from .apps import app_names, build_app, build_monolith
+from .core import (
+    DeathStarBench,
+    Deployment,
+    ExperimentResult,
+    QoSTarget,
+    balanced_provision,
+    run_experiment,
+    simulate,
+)
+from .services import Application, CallNode, Operation, ServiceDefinition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticModel",
+    "Application",
+    "CallNode",
+    "DeathStarBench",
+    "Deployment",
+    "ExperimentResult",
+    "Operation",
+    "QoSTarget",
+    "ServiceDefinition",
+    "app_names",
+    "balanced_provision",
+    "build_app",
+    "build_monolith",
+    "run_experiment",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analytic queueing-network backend for fast parameter sweeps."""
+
+from .cache import (
+    aggregate_hit_ratio,
+    cache_size_for_hit_ratio,
+    che_characteristic_time,
+    hit_ratios,
+    zipf_weights,
+)
+from .budgets import TierBudget, binding_constraints, latency_budgets
+from .demand import ServiceDemand, compute_demands
+from .model import AnalyticModel, clark_max
+from .queueing import (
+    StationResult,
+    analyze_station,
+    erlang_c,
+    mgc_wait_time,
+    tail_from_moments,
+)
+
+__all__ = [
+    "AnalyticModel",
+    "aggregate_hit_ratio",
+    "cache_size_for_hit_ratio",
+    "che_characteristic_time",
+    "hit_ratios",
+    "zipf_weights",
+    "ServiceDemand",
+    "TierBudget",
+    "binding_constraints",
+    "latency_budgets",
+    "StationResult",
+    "analyze_station",
+    "clark_max",
+    "compute_demands",
+    "erlang_c",
+    "mgc_wait_time",
+    "tail_from_moments",
+]

@@ -1,0 +1,118 @@
+"""End-to-end latency budgeting.
+
+Section 4's headline: "the latency requirements of each individual tier
+are much stricter than for typical applications".  This module makes
+that concrete: given an application, a deployment configuration, and an
+end-to-end QoS target, it decomposes the target into per-tier latency
+*budgets* along the call trees and reports each tier's budget, its
+predicted consumption at a given load, and the slack — the tooling an
+operator would use to find which tier to optimize first.
+
+Budgeting rule: the end-to-end target is apportioned to tiers in
+proportion to their predicted *tail* (p99) contribution on the
+mix-weighted critical path (sequential nodes add; parallel groups are
+charged to their slowest member) — tail-aware apportionment, so
+high-variance tiers earn proportionally wider budgets.  A tier whose
+p99 response exceeds its per-visit budget is flagged as a binding
+constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..services.app import Application
+from ..services.calltree import CallNode
+from .model import AnalyticModel
+
+__all__ = ["TierBudget", "latency_budgets", "binding_constraints"]
+
+
+@dataclass(frozen=True)
+class TierBudget:
+    """One tier's slice of the end-to-end latency target."""
+
+    service: str
+    #: Expected visits per end-to-end request (mix-weighted).
+    visits: float
+    #: Mean contribution to end-to-end latency per request (seconds).
+    contribution: float
+    #: Share of the end-to-end target apportioned to this tier.
+    budget: float
+    #: Predicted per-visit p99 response at the evaluated load.
+    p99_response: float
+    #: budget/visits - p99_response; negative means the tier busts it.
+    slack: float
+
+    @property
+    def violated(self) -> bool:
+        return self.slack < 0.0
+
+
+def _contributions(model: AnalyticModel, qps: float) -> Dict[str, float]:
+    """Mean per-request latency contribution per tier along the
+    mix-weighted critical path."""
+    stations = model.stations(qps)
+    out: Dict[str, float] = {service: 0.0 for service in
+                             model.app.services}
+
+    def node_tail(node: CallNode) -> float:
+        tail = stations[node.service].response_tail(0.99)
+        for group in node.groups:
+            tail += max(node_tail(child) for child in group)
+        return tail
+
+    def charge(node: CallNode, weight: float) -> None:
+        out[node.service] += weight * \
+            stations[node.service].response_tail(0.99)
+        for group in node.groups:
+            for child in group:
+                charge(child, weight)
+
+    for op_name, probability in model.mix.items():
+        charge(model.app.operations[op_name].root, probability)
+    return out
+
+
+def latency_budgets(app: Application, qps: float,
+                    replicas=1,
+                    cores=2,
+                    qos_latency: Optional[float] = None,
+                    mix: Optional[Mapping[str, float]] = None
+                    ) -> List[TierBudget]:
+    """Per-tier budgets for the end-to-end target at the given load."""
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    target = qos_latency if qos_latency is not None else app.qos_latency
+    model = AnalyticModel(app, replicas=replicas, cores=cores, mix=mix)
+    contributions = _contributions(model, qps)
+    total = sum(contributions.values())
+    if total <= 0:
+        raise ValueError("no latency contributions at this load")
+    stations = model.stations(qps)
+    visits = {s: d.visits for s, d in model.demands.items()}
+    budgets = []
+    for service, contribution in contributions.items():
+        share = contribution / total
+        budget = share * target
+        p99 = stations[service].response_tail(0.99)
+        per_visit_budget = (budget / visits[service]
+                            if visits[service] > 0 else budget)
+        budgets.append(TierBudget(
+            service=service,
+            visits=visits[service],
+            contribution=contribution,
+            budget=budget,
+            p99_response=p99,
+            slack=per_visit_budget - p99,
+        ))
+    budgets.sort(key=lambda b: b.slack)
+    return budgets
+
+
+def binding_constraints(app: Application, qps: float,
+                        **kwargs) -> List[str]:
+    """Tiers whose predicted p99 busts their budget (tightest first)."""
+    return [b.service for b in latency_budgets(app, qps, **kwargs)
+            if b.violated]

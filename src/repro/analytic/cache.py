@@ -1,0 +1,105 @@
+"""LRU cache analysis: hit ratios under Zipf popularity.
+
+The suite's applications front their MongoDB/MySQL stores with
+memcached tiers, and the call trees encode each lookup's *miss ratio*
+as the store node's ``work_scale``.  This module provides the
+principled way to pick those numbers: Che's approximation (Che, Tung &
+Wang 2002), the standard closed-form estimate of per-key and aggregate
+LRU hit ratios given a key-popularity distribution and a cache size.
+
+Che's approximation: an LRU cache of ``C`` objects has a *characteristic
+time* ``T`` solving
+
+    C = sum_k (1 - exp(-lambda_k * T))
+
+and key ``k``'s hit ratio is ``1 - exp(-lambda_k * T)``.  It is
+remarkably accurate for Zipf-like cloud workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["che_characteristic_time", "hit_ratios", "aggregate_hit_ratio",
+           "zipf_weights", "cache_size_for_hit_ratio"]
+
+
+def zipf_weights(n_keys: int, s: float) -> List[float]:
+    """Normalized Zipf popularity weights for ``n_keys`` keys."""
+    if n_keys < 1:
+        raise ValueError("n_keys must be >= 1")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    raw = [1.0 / (k ** s) for k in range(1, n_keys + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def che_characteristic_time(weights: Sequence[float],
+                            cache_size: int,
+                            tolerance: float = 1e-9) -> float:
+    """Solve Che's fixed point for the characteristic time ``T``.
+
+    ``weights`` are per-key request probabilities (request rate factors
+    cancel); ``cache_size`` is in objects.  Bisection on T: the
+    occupancy sum is monotone in T."""
+    n = len(weights)
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    if cache_size >= n:
+        return math.inf  # everything fits; all hits after warm-up
+
+    def occupancy(t: float) -> float:
+        return sum(1.0 - math.exp(-w * t) for w in weights)
+
+    lo, hi = 0.0, 1.0
+    while occupancy(hi) < cache_size:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - degenerate weights
+            return hi
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if occupancy(mid) < cache_size:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0
+
+
+def hit_ratios(weights: Sequence[float], cache_size: int) -> List[float]:
+    """Per-key LRU hit ratios under Che's approximation."""
+    t = che_characteristic_time(weights, cache_size)
+    if math.isinf(t):
+        return [1.0] * len(weights)
+    return [1.0 - math.exp(-w * t) for w in weights]
+
+
+def aggregate_hit_ratio(weights: Sequence[float],
+                        cache_size: int) -> float:
+    """Request-weighted aggregate hit ratio (what the cache tier sees)."""
+    ratios = hit_ratios(weights, cache_size)
+    return sum(w * h for w, h in zip(weights, ratios))
+
+
+def cache_size_for_hit_ratio(weights: Sequence[float],
+                             target: float) -> int:
+    """Smallest cache (in objects) achieving the target hit ratio.
+
+    The inverse design question: how much memcached does a tier need
+    for, say, a 70 % hit ratio?  Monotone, so bisection on size."""
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0,1)")
+    n = len(weights)
+    lo, hi = 1, n
+    if aggregate_hit_ratio(weights, lo) >= target:
+        return lo
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if aggregate_hit_ratio(weights, mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,81 @@
+"""Per-service demand extraction from an application's call trees.
+
+For the analytic queueing model we need, for each service, the expected
+number of visits per end-to-end request and the CPU demand per request,
+split into application work and network (TCP) work.  Network demand has
+two parts: a tier pays kernel CPU for the messages it *receives and
+answers* (its own RPC), and for the messages it *sends* as a caller of
+its downstream tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..net.protocols import ProtocolCosts, costs_for
+from ..services.app import Application
+from ..services.calltree import CallNode
+
+__all__ = ["ServiceDemand", "compute_demands"]
+
+
+@dataclass
+class ServiceDemand:
+    """Expected per-end-to-end-request demand on one service."""
+
+    visits: float = 0.0
+    app_work: float = 0.0
+    net_work: float = 0.0
+    #: CV of the service's compute time (for the G in M/G/c).
+    work_cv: float = 0.5
+
+    @property
+    def total_work(self) -> float:
+        """Application plus network CPU seconds per request."""
+        return self.app_work + self.net_work
+
+    def service_time_mean(self) -> float:
+        """Mean CPU demand per visit."""
+        if self.visits <= 0:
+            return 0.0
+        return self.total_work / self.visits
+
+
+def _walk(app: Application, node: CallNode, weight: float,
+          costs: ProtocolCosts,
+          demands: Dict[str, ServiceDemand]) -> None:
+    me = demands[node.service]
+    me.visits += weight
+    me.app_work += (weight * app.services[node.service].work_mean
+                    * node.work_scale)
+    # Server side of my own RPC: receive the request, send the response.
+    me.net_work += weight * (costs.recv_cost(node.request_kb)
+                             + costs.send_cost(node.response_kb))
+    for group in node.groups:
+        for child in group:
+            # Caller side of each downstream RPC.
+            me.net_work += weight * (costs.send_cost(child.request_kb)
+                                     + costs.recv_cost(child.response_kb))
+            _walk(app, child, weight, costs, demands)
+
+
+def compute_demands(app: Application,
+                    mix: Optional[Mapping[str, float]] = None,
+                    costs: Optional[ProtocolCosts] = None
+                    ) -> Dict[str, ServiceDemand]:
+    """Service → :class:`ServiceDemand` under the given operation mix."""
+    mix = dict(mix) if mix is not None else app.default_mix()
+    costs = costs or costs_for(app.protocol)
+    demands: Dict[str, ServiceDemand] = {
+        name: ServiceDemand(work_cv=svc.work_cv)
+        for name, svc in app.services.items()
+    }
+    for op_name, probability in mix.items():
+        if probability < 0:
+            raise ValueError("mix probabilities must be >= 0")
+        if probability == 0:
+            continue
+        _walk(app, app.operations[op_name].root, probability, costs,
+              demands)
+    return demands

@@ -1,0 +1,232 @@
+"""End-to-end analytic latency model.
+
+Composes per-tier M/G/c stations along an application's call trees to
+estimate end-to-end latency moments and tails without simulation.  Used
+for the wide parameter sweeps (load x frequency grids, platform
+comparisons, cluster-size sweeps) where DES would be needlessly slow;
+the test suite cross-validates it against the simulator on small
+configurations.
+
+Composition rules (documented approximations):
+
+* one visit per call node at its tier's station, with the tier's mean
+  demand per visit (application + amortized TCP work);
+* sequential calls add means and variances;
+* parallel calls combine via Clark's (1961) Gaussian-max approximation;
+* each RPC edge adds two wire latencies (request + response);
+* the end-to-end quantile comes from lognormal moment matching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..arch.platform import XEON, Platform
+from ..services.app import Application
+from ..services.calltree import CallNode
+from .demand import ServiceDemand, compute_demands
+from .queueing import StationResult, analyze_station, tail_from_moments
+
+__all__ = ["AnalyticModel"]
+
+
+def _phi(x: float) -> float:
+    """Standard normal pdf."""
+    return math.exp(-x * x / 2.0) / math.sqrt(2.0 * math.pi)
+
+
+def _Phi(x: float) -> float:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def clark_max(mean_a: float, var_a: float,
+              mean_b: float, var_b: float) -> Tuple[float, float]:
+    """Moments of max(A, B) for independent Gaussians (Clark 1961)."""
+    a2 = var_a + var_b
+    if a2 <= 1e-24:
+        m = max(mean_a, mean_b)
+        return m, max(var_a, var_b)
+    a = math.sqrt(a2)
+    alpha = (mean_a - mean_b) / a
+    mean = (mean_a * _Phi(alpha) + mean_b * _Phi(-alpha) + a * _phi(alpha))
+    second = ((mean_a ** 2 + var_a) * _Phi(alpha)
+              + (mean_b ** 2 + var_b) * _Phi(-alpha)
+              + (mean_a + mean_b) * a * _phi(alpha))
+    var = max(0.0, second - mean * mean)
+    return mean, var
+
+
+class AnalyticModel:
+    """Queueing-network estimate of one deployment configuration."""
+
+    def __init__(self, app: Application,
+                 replicas: Union[int, Mapping[str, int]] = 1,
+                 cores: Union[int, Mapping[str, int]] = 2,
+                 platform: Platform = XEON,
+                 freq_ghz: Optional[float] = None,
+                 mix: Optional[Mapping[str, float]] = None,
+                 wire_latency: float = 25e-6,
+                 client_latency: float = 100e-6,
+                 slow_factor: float = 1.0,
+                 service_speed: Optional[Mapping[str, float]] = None):
+        self.app = app
+        self.platform = platform
+        self.freq_ghz = freq_ghz if freq_ghz is not None \
+            else platform.nominal_freq_ghz
+        if not (platform.min_freq_ghz <= self.freq_ghz
+                <= platform.nominal_freq_ghz):
+            raise ValueError(
+                f"{self.freq_ghz} GHz outside platform range")
+        if slow_factor <= 0:
+            raise ValueError("slow_factor must be > 0")
+        self.mix = dict(mix) if mix is not None else app.default_mix()
+        self.wire_latency = wire_latency
+        self.client_latency = client_latency
+        self.slow_factor = slow_factor
+        self.demands: Dict[str, ServiceDemand] = compute_demands(
+            app, mix=self.mix)
+        self._replicas = replicas
+        self._cores = cores
+        #: Per-service absolute core-speed overrides (vs. the nominal
+        #: Xeon core) for heterogeneous placements, e.g. Swarm tiers
+        #: pinned to drone SoCs.
+        self.service_speed = dict(service_speed or {})
+
+    # -- configuration helpers ---------------------------------------------
+    def replicas_of(self, service: str) -> int:
+        if isinstance(self._replicas, int):
+            return self._replicas
+        return self._replicas.get(service, 1)
+
+    def cores_of(self, service: str) -> int:
+        if isinstance(self._cores, int):
+            return self._cores
+        return self._cores.get(service, 2)
+
+    def _speed(self) -> float:
+        return (self.platform.single_thread_factor
+                * (self.freq_ghz / XEON.nominal_freq_ghz)
+                * self.slow_factor)
+
+    def service_time(self, service: str) -> float:
+        """Mean wall-clock demand per visit on this hardware."""
+        demand = self.demands[service]
+        nominal = demand.service_time_mean()
+        beta = self.app.services[service].freq_sensitivity
+        speed = self.service_speed.get(service, self._speed())
+        return nominal * (beta / speed + (1.0 - beta))
+
+    # -- per-tier analysis -----------------------------------------------
+    def stations(self, qps: float) -> Dict[str, StationResult]:
+        """Service → M/G/c station result at the offered load."""
+        if qps <= 0:
+            raise ValueError("qps must be > 0")
+        results = {}
+        for service, demand in self.demands.items():
+            arrival = qps * demand.visits
+            servers = self.replicas_of(service) * self.cores_of(service)
+            results[service] = analyze_station(
+                arrival, self.service_time(service), demand.work_cv,
+                servers)
+        return results
+
+    def utilizations(self, qps: float) -> Dict[str, float]:
+        """Service → utilization at the offered load."""
+        return {s: r.utilization for s, r in self.stations(qps).items()}
+
+    def bottleneck(self, qps: float) -> str:
+        """The tier with the highest utilization."""
+        utils = self.utilizations(qps)
+        return max(utils, key=utils.get)
+
+    def saturation_qps(self) -> float:
+        """Load at which the first tier saturates (capacity bound)."""
+        worst = math.inf
+        for service, demand in self.demands.items():
+            if demand.visits <= 0:
+                continue
+            per_visit = self.service_time(service)
+            if per_visit <= 0:
+                continue
+            servers = self.replicas_of(service) * self.cores_of(service)
+            worst = min(worst, servers / (demand.visits * per_visit))
+        return worst
+
+    # -- end-to-end composition --------------------------------------------
+    def _node_moments(self, node: CallNode,
+                      stations: Dict[str, StationResult],
+                      edge_latency: float) -> Tuple[float, float]:
+        station = stations[node.service]
+        if station.saturated:
+            return math.inf, math.inf
+        mean = 2.0 * edge_latency + station.response_mean
+        var = station.response_var
+        for group in node.groups:
+            members = [self._node_moments(child, stations,
+                                          self.wire_latency)
+                       for child in group]
+            if any(math.isinf(m) for m, _ in members):
+                return math.inf, math.inf
+            g_mean, g_var = members[0]
+            for m, v in members[1:]:
+                g_mean, g_var = clark_max(g_mean, g_var, m, v)
+            mean += g_mean
+            var += g_var
+        return mean, var
+
+    def end_to_end_moments(self, qps: float,
+                           operation: Optional[str] = None
+                           ) -> Tuple[float, float]:
+        """(mean, variance) of end-to-end latency at the offered load.
+
+        With ``operation=None``, returns the mix-weighted moments."""
+        stations = self.stations(qps)
+        if operation is not None:
+            root = self.app.operations[operation].root
+            return self._node_moments(root, stations, self.client_latency)
+        mean = var = 0.0
+        for op_name, probability in self.mix.items():
+            root = self.app.operations[op_name].root
+            m, v = self._node_moments(root, stations, self.client_latency)
+            if math.isinf(m):
+                return math.inf, math.inf
+            mean += probability * m
+            var += probability * (v + m * m)
+        var -= mean * mean
+        return mean, max(0.0, var)
+
+    def tail(self, qps: float, p: float = 0.99,
+             operation: Optional[str] = None) -> float:
+        """End-to-end latency quantile at the offered load."""
+        mean, var = self.end_to_end_moments(qps, operation)
+        if math.isinf(mean):
+            return math.inf
+        return tail_from_moments(mean, var, p)
+
+    def max_qps_under(self, latency_bound: float, p: float = 0.99,
+                      hi: Optional[float] = None,
+                      tolerance: float = 0.01) -> float:
+        """Largest load whose p-tail stays under ``latency_bound``.
+
+        Binary search between 0 and the capacity bound."""
+        if latency_bound <= 0:
+            raise ValueError("latency_bound must be > 0")
+        ceiling = hi if hi is not None else self.saturation_qps()
+        if math.isinf(ceiling):
+            raise ValueError("application has no finite capacity bound")
+        lo_q, hi_q = 0.0, ceiling
+        if self.tail(max(ceiling * 1e-6, 1e-9), p) > latency_bound:
+            return 0.0
+        for _ in range(60):
+            mid = (lo_q + hi_q) / 2.0
+            if mid <= 0:
+                break
+            if self.tail(mid, p) <= latency_bound:
+                lo_q = mid
+            else:
+                hi_q = mid
+            if hi_q - lo_q <= tolerance * ceiling:
+                break
+        return lo_q

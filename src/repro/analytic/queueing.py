@@ -1,0 +1,144 @@
+"""Multi-server queueing approximations.
+
+The analytic backend treats each service tier as an M/G/c station:
+
+* Erlang-C gives the exact M/M/c waiting probability;
+* the Allen-Cunneen correction ``(Ca^2 + Cs^2)/2`` generalizes the wait
+  to general service-time distributions;
+* response-time *tails* come from lognormal moment matching — latency
+  distributions in loaded queueing systems are right-skewed, and the
+  lognormal fit reproduces the paper's qualitative p99-vs-load shape
+  (flat, knee, explosion at saturation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["erlang_c", "mgc_wait_time", "tail_from_moments",
+           "StationResult", "analyze_station"]
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an M/M/c arrival must wait (Erlang-C formula).
+
+    ``offered_load`` is lambda/mu in Erlangs; requires
+    ``offered_load < servers`` for stability."""
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if offered_load < 0:
+        raise ValueError("offered_load must be >= 0")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    # Iterative Erlang-B then convert, numerically stable for large c.
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mgc_wait_time(arrival_rate: float, service_mean: float,
+                  service_cv: float, servers: int) -> float:
+    """Mean queueing delay of an M/G/c station (Allen-Cunneen).
+
+    Returns ``inf`` when the station is saturated."""
+    if arrival_rate < 0 or service_mean < 0:
+        raise ValueError("rates and times must be >= 0")
+    if service_cv < 0:
+        raise ValueError("service_cv must be >= 0")
+    if arrival_rate == 0 or service_mean == 0:
+        return 0.0
+    offered = arrival_rate * service_mean
+    if offered >= servers:
+        return math.inf
+    rho = offered / servers
+    wait_mmc = (erlang_c(servers, offered) * service_mean
+                / (servers * (1.0 - rho)))
+    return wait_mmc * (1.0 + service_cv ** 2) / 2.0
+
+
+def tail_from_moments(mean: float, variance: float, p: float) -> float:
+    """Quantile ``p`` of a lognormal with the given first two moments."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0,1)")
+    if mean < 0 or variance < 0:
+        raise ValueError("moments must be >= 0")
+    if mean == 0:
+        return 0.0
+    if variance == 0:
+        return mean
+    sigma2 = math.log(1.0 + variance / (mean * mean))
+    mu = math.log(mean) - sigma2 / 2.0
+    z = _normal_quantile(p)
+    return math.exp(mu + z * math.sqrt(sigma2))
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard normal quantile (Acklam's rational approximation)."""
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+                + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3])
+                                * r + b[4]) * r + 1)
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+             + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+
+
+@dataclass(frozen=True)
+class StationResult:
+    """Steady-state metrics of one service tier."""
+
+    utilization: float
+    wait_mean: float
+    response_mean: float
+    response_var: float
+
+    @property
+    def saturated(self) -> bool:
+        return not math.isfinite(self.response_mean)
+
+    def response_tail(self, p: float = 0.99) -> float:
+        """Approximate response-time quantile."""
+        if self.saturated:
+            return math.inf
+        return tail_from_moments(self.response_mean, self.response_var, p)
+
+
+def analyze_station(arrival_rate: float, service_mean: float,
+                    service_cv: float, servers: int) -> StationResult:
+    """Full M/G/c analysis of one tier."""
+    if service_mean == 0 or arrival_rate == 0:
+        return StationResult(0.0, 0.0, service_mean,
+                             (service_cv * service_mean) ** 2)
+    utilization = min(1.0, arrival_rate * service_mean / servers)
+    wait = mgc_wait_time(arrival_rate, service_mean, service_cv, servers)
+    if not math.isfinite(wait):
+        return StationResult(1.0, math.inf, math.inf, math.inf)
+    response = wait + service_mean
+    # Waiting time is approximately exponential when non-trivial, so its
+    # variance is ~wait^2; service contributes (cv*s)^2 independently.
+    variance = (service_cv * service_mean) ** 2 + wait ** 2
+    return StationResult(utilization, wait, response, variance)

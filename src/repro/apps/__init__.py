@@ -1,0 +1,21 @@
+"""The DeathStarBench application suite (Sec. 3)."""
+
+from .banking import build_banking
+from .ecommerce import build_ecommerce
+from .media_service import build_media_service
+from .registry import APP_BUILDERS, app_names, build_app, build_monolith
+from .social_network import build_social_network
+from .swarm import build_swarm_cloud, build_swarm_edge
+
+__all__ = [
+    "APP_BUILDERS",
+    "app_names",
+    "build_app",
+    "build_banking",
+    "build_ecommerce",
+    "build_media_service",
+    "build_monolith",
+    "build_social_network",
+    "build_swarm_cloud",
+    "build_swarm_edge",
+]

@@ -1,0 +1,45 @@
+"""Application registry: the six end-to-end services plus monoliths."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..services.app import Application
+from ..services.monolith import monolithify
+from .banking import build_banking
+from .ecommerce import build_ecommerce
+from .media_service import build_media_service
+from .social_network import build_social_network
+from .swarm import build_swarm_cloud, build_swarm_edge
+
+__all__ = ["APP_BUILDERS", "build_app", "app_names", "build_monolith"]
+
+APP_BUILDERS: Dict[str, Callable[[], Application]] = {
+    "social_network": build_social_network,
+    "media_service": build_media_service,
+    "ecommerce": build_ecommerce,
+    "banking": build_banking,
+    "swarm_cloud": build_swarm_cloud,
+    "swarm_edge": build_swarm_edge,
+}
+
+
+def app_names() -> List[str]:
+    """Names of all end-to-end applications in the suite."""
+    return list(APP_BUILDERS.keys())
+
+
+def build_app(name: str) -> Application:
+    """Construct an application by name."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {app_names()}"
+        ) from None
+    return builder()
+
+
+def build_monolith(name: str) -> Application:
+    """Construct the monolithic counterpart of a suite application."""
+    return monolithify(build_app(name))

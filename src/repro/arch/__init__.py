@@ -1,0 +1,41 @@
+"""Architectural models: platforms, DVFS, and the top-down core model."""
+
+from .attribution import (
+    ExecutionBreakdown,
+    instruction_breakdown,
+    service_breakdown,
+    weighted_breakdown,
+)
+from .core_model import LANGUAGE_TRAITS, ArchTraits, CoreModel, CycleBreakdown
+from .frequency import FrequencyModel, scaled_time
+from .platform import (
+    DRONE_SOC,
+    EC2_C5,
+    EC2_M5,
+    PLATFORMS,
+    THUNDERX,
+    XEON,
+    XEON_1P8,
+    Platform,
+)
+
+__all__ = [
+    "ArchTraits",
+    "CoreModel",
+    "CycleBreakdown",
+    "DRONE_SOC",
+    "EC2_C5",
+    "EC2_M5",
+    "ExecutionBreakdown",
+    "FrequencyModel",
+    "LANGUAGE_TRAITS",
+    "PLATFORMS",
+    "Platform",
+    "THUNDERX",
+    "XEON",
+    "XEON_1P8",
+    "instruction_breakdown",
+    "scaled_time",
+    "service_breakdown",
+    "weighted_breakdown",
+]

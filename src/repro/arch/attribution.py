@@ -1,0 +1,83 @@
+"""Kernel / user / library execution attribution (Figs. 3 and 14).
+
+Fig. 14 splits each end-to-end service's cycles *and* instructions into
+OS (kernel), user, and library code.  Per service we know the kernel and
+library cycle shares from its :class:`~repro.arch.core_model.ArchTraits`;
+an application-level bar is the CPU-time-weighted mixture of its
+services.  Instruction shares differ from cycle shares because kernel
+code runs at lower IPC (interrupt handling, cold i-cache) and library
+code at slightly higher IPC than application code — so instructions skew
+toward user/libs relative to cycles, exactly the asymmetry visible in
+the paper's C vs. I bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from .core_model import ArchTraits
+
+__all__ = ["ExecutionBreakdown", "service_breakdown", "weighted_breakdown",
+           "instruction_breakdown"]
+
+#: Relative IPC of each code category (kernel slowest).
+_CATEGORY_IPC = {"os": 0.7, "user": 1.0, "libs": 1.15}
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Shares of OS, user, and library execution; sums to 1."""
+
+    os: float
+    user: float
+    libs: float
+
+    def __post_init__(self):
+        total = self.os + self.user + self.libs
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"shares must sum to 1, got {total}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"os": self.os, "user": self.user, "libs": self.libs}
+
+
+def service_breakdown(traits: ArchTraits) -> ExecutionBreakdown:
+    """Cycle attribution for a single service from its traits."""
+    os_share = traits.kernel_share
+    lib_share = traits.library_share
+    return ExecutionBreakdown(os=os_share, libs=lib_share,
+                              user=1.0 - os_share - lib_share)
+
+
+def weighted_breakdown(
+        cpu_seconds: Mapping[str, float],
+        traits: Mapping[str, ArchTraits]) -> ExecutionBreakdown:
+    """Application-level cycle attribution.
+
+    ``cpu_seconds`` maps service name to total CPU time consumed in a
+    run; services burning more cycles weigh more in the app-level bar.
+    """
+    total = sum(cpu_seconds.values())
+    if total <= 0:
+        raise ValueError("no CPU time recorded")
+    os_share = user = libs = 0.0
+    for name, seconds in cpu_seconds.items():
+        b = service_breakdown(traits[name])
+        w = seconds / total
+        os_share += w * b.os
+        user += w * b.user
+        libs += w * b.libs
+    return ExecutionBreakdown(os=os_share, user=user, libs=libs)
+
+
+def instruction_breakdown(cycles: ExecutionBreakdown) -> ExecutionBreakdown:
+    """Convert a cycle attribution into an instruction attribution.
+
+    instructions_cat ∝ cycles_cat * IPC_cat, renormalized."""
+    raw = {cat: share * _CATEGORY_IPC[cat]
+           for cat, share in cycles.as_dict().items()}
+    total = sum(raw.values())
+    return ExecutionBreakdown(os=raw["os"] / total,
+                              user=raw["user"] / total,
+                              libs=raw["libs"] / total)

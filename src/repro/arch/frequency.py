@@ -1,0 +1,62 @@
+"""DVFS / RAPL frequency-scaling model.
+
+Fig. 12 sweeps core frequency with RAPL and finds that compute-bound
+tiers inflate roughly as ``1/f`` while I/O-bound tiers (MongoDB) barely
+notice.  We model each service with a *frequency sensitivity* beta in
+``[0, 1]``: the fraction of its service time that scales with the clock.
+
+    time(f) = t_nom * (beta * f_nom / f  +  (1 - beta))
+
+beta = 1 is fully compute-bound; beta = 0 is pure I/O wait.  The same
+knob doubles as the "slow server" injector of Fig. 22c (aggressive power
+management == running at min frequency).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FrequencyModel", "scaled_time"]
+
+
+def scaled_time(nominal_time: float, sensitivity: float,
+                freq_ghz: float, nominal_freq_ghz: float) -> float:
+    """Service time at ``freq_ghz`` given the nominal time and beta."""
+    if nominal_time < 0:
+        raise ValueError("nominal_time must be >= 0")
+    if not 0.0 <= sensitivity <= 1.0:
+        raise ValueError(f"sensitivity must be in [0,1], got {sensitivity}")
+    if freq_ghz <= 0 or nominal_freq_ghz <= 0:
+        raise ValueError("frequencies must be > 0")
+    slowdown = sensitivity * (nominal_freq_ghz / freq_ghz) + (1.0 - sensitivity)
+    return nominal_time * slowdown
+
+
+class FrequencyModel:
+    """Per-machine frequency state with RAPL-style capping."""
+
+    def __init__(self, nominal_freq_ghz: float, min_freq_ghz: float):
+        if not (0 < min_freq_ghz <= nominal_freq_ghz):
+            raise ValueError("need 0 < min_freq <= nominal_freq")
+        self.nominal_freq_ghz = nominal_freq_ghz
+        self.min_freq_ghz = min_freq_ghz
+        self._current = nominal_freq_ghz
+
+    @property
+    def current_ghz(self) -> float:
+        """The frequency currently in effect."""
+        return self._current
+
+    def cap(self, freq_ghz: float) -> float:
+        """Apply a RAPL cap, clamped to the platform's legal range."""
+        self._current = min(self.nominal_freq_ghz,
+                            max(self.min_freq_ghz, freq_ghz))
+        return self._current
+
+    def uncap(self) -> float:
+        """Restore nominal frequency."""
+        self._current = self.nominal_freq_ghz
+        return self._current
+
+    def slowdown(self, sensitivity: float) -> float:
+        """Multiplicative service-time inflation at the current cap."""
+        return scaled_time(1.0, sensitivity, self._current,
+                           self.nominal_freq_ghz)

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the suite's applications with their Table 1 characteristics.
+``describe APP``
+    Show one application's services, operations, and default mix.
+``simulate APP --qps N --duration S``
+    Deploy and drive one application; print the measurement summary.
+``provision APP --qps N``
+    Print the balanced replica allocation (Sec. 3.8) for a target load.
+``sweep APP --qps A B C``
+    Throughput/tail curve over a list of offered loads (analytic).
+``dot APP``
+    Emit the microservice dependency graph in Graphviz DOT format
+    (the Fig. 4-8 diagrams).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analytic.model import AnalyticModel
+from .apps.registry import app_names, build_app
+from .core.experiment import simulate
+from .core.provisioning import balanced_provision
+from .core.suite import DeathStarBench
+from .services.graphviz import to_dot
+from .stats.tables import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    print(DeathStarBench().table1())
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    app = build_app(args.app)
+    rows = [[name, svc.language, svc.kind,
+             f"{svc.work_mean * 1e6:.0f}", f"{svc.freq_sensitivity:.2f}"]
+            for name, svc in sorted(app.services.items())]
+    print(format_table(
+        ["service", "language", "kind", "work (us)", "freq beta"],
+        rows, title=f"{app.name}: {app.unique_microservices} services, "
+                    f"protocol={app.protocol}"))
+    print()
+    mix = app.default_mix()
+    rows = [[op.name, f"{mix[op.name]:.1%}", op.root.call_count(),
+             op.root.depth(), f"{app.operation_work(op.name) * 1e6:.0f}"]
+            for op in app.operations.values()]
+    print(format_table(
+        ["operation", "mix", "RPCs", "depth", "CPU work (us)"], rows,
+        title="operations"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    result = simulate(app, qps=args.qps, duration=args.duration,
+                      n_machines=args.machines, replicas=replicas,
+                      seed=args.seed)
+    rows = [
+        ["offered load (QPS)", f"{args.qps:g}"],
+        ["throughput (req/s)", f"{result.throughput():.1f}"],
+        ["mean latency (ms)", f"{result.mean_latency() * 1e3:.2f}"],
+        ["p95 (ms)", f"{result.tail(0.95) * 1e3:.2f}"],
+        ["p99 (ms)", f"{result.tail(0.99) * 1e3:.2f}"],
+        ["QoS target (ms)", f"{app.qos_latency * 1e3:.1f}"],
+        ["QoS met", str(result.qos_met())],
+        ["completion ratio", f"{result.completion_ratio():.3f}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{app.name} measurement"))
+    if args.dashboard:
+        from .stats.dashboard import render_dashboard
+        print()
+        print(render_dashboard(result))
+    return 0
+
+
+def _cmd_provision(args) -> int:
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=args.qps,
+                                  target_util=args.util)
+    model = AnalyticModel(app, replicas=replicas, cores=2)
+    utils = model.utilizations(args.qps)
+    rows = [[svc, replicas[svc], f"{utils[svc]:.2f}"]
+            for svc in sorted(replicas, key=lambda s: -replicas[s])]
+    print(format_table(
+        ["service", "replicas", f"utilization @ {args.qps:g} QPS"],
+        rows, title=f"{app.name}: balanced provisioning "
+                    f"({sum(replicas.values())} replicas)"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=max(args.qps) * 0.7)
+    model = AnalyticModel(app, replicas=replicas, cores=2)
+    rows = []
+    for qps in args.qps:
+        tail = model.tail(qps)
+        rows.append([f"{qps:g}",
+                     f"{tail * 1e3:.2f}" if tail != float("inf")
+                     else "saturated",
+                     str(tail <= app.qos_latency)])
+    print(format_table(["QPS", "p99 (ms)", "QoS met"], rows,
+                       title=f"{app.name} load sweep (analytic)"))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    print(to_dot(build_app(args.app)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeathStarBench reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list suite applications")
+
+    p = sub.add_parser("describe", help="describe one application")
+    p.add_argument("app", choices=app_names())
+
+    p = sub.add_parser("simulate", help="run one app under load")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=100.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dashboard", action="store_true",
+                   help="render the full text dashboard")
+
+    p = sub.add_parser("provision", help="balanced provisioning")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=300.0)
+    p.add_argument("--util", type=float, default=0.6)
+
+    p = sub.add_parser("sweep", help="analytic load sweep")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, nargs="+",
+                   default=[50, 100, 200, 400, 800])
+
+    p = sub.add_parser("dot", help="dependency graph in DOT format")
+    p.add_argument("app", choices=app_names())
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "describe": _cmd_describe,
+    "simulate": _cmd_simulate,
+    "provision": _cmd_provision,
+    "sweep": _cmd_sweep,
+    "dot": _cmd_dot,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Cluster substrate: machines, placement, balancing, autoscaling."""
+
+from .autoscaler import AutoscalerEvent, UtilizationAutoscaler
+from .depscaler import DependencyAwareAutoscaler
+from .cluster import Cluster
+from .faults import MachineOutage
+from .loadbalancer import KeyHash, LeastOutstanding, LoadBalancer, RoundRobin
+from .machine import NIC_10G_KB_PER_S, Machine, ServiceInstance
+from .ratelimit import TokenBucket
+
+__all__ = [
+    "AutoscalerEvent",
+    "Cluster",
+    "DependencyAwareAutoscaler",
+    "KeyHash",
+    "LeastOutstanding",
+    "LoadBalancer",
+    "Machine",
+    "MachineOutage",
+    "NIC_10G_KB_PER_S",
+    "RoundRobin",
+    "ServiceInstance",
+    "TokenBucket",
+    "UtilizationAutoscaler",
+]

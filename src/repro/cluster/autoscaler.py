@@ -1,0 +1,144 @@
+"""Utilization-threshold autoscaling.
+
+This is the autoscaler the paper argues is *insufficient* for
+microservices (Sec. 6): it watches per-tier CPU utilization and scales
+out any tier above a threshold (70 % by default, matching the EC2
+default the paper cites).  It has no notion of inter-tier dependencies,
+so under backpressure it scales the busy-waiting victim instead of the
+culprit (Fig. 17 case B, Fig. 20).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Environment
+from ..stats.timeseries import StepSeries
+
+__all__ = ["UtilizationAutoscaler", "AutoscalerEvent"]
+
+
+class AutoscalerEvent:
+    """One scaling action, for post-hoc inspection."""
+
+    def __init__(self, time: float, service: str, action: str,
+                 utilization: float, instances: int):
+        self.time = time
+        self.service = service
+        self.action = action
+        self.utilization = utilization
+        self.instances = instances
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{self.action} {self.service} at t={self.time:.1f} "
+                f"util={self.utilization:.2f} n={self.instances}>")
+
+
+class UtilizationAutoscaler:
+    """Periodic per-service scale-out/in on mean CPU utilization.
+
+    Parameters mirror real cloud autoscalers: a sampling ``period``, a
+    ``scale_out_threshold`` (default 0.7 per the EC2 default), a
+    ``scale_in_threshold``, a provisioning ``startup_delay`` before new
+    capacity is live, and per-service instance bounds.
+    """
+
+    def __init__(self, env: Environment, deployment,
+                 period: float = 5.0,
+                 scale_out_threshold: float = 0.7,
+                 scale_in_threshold: float = 0.2,
+                 startup_delay: float = 10.0,
+                 max_instances: int = 64,
+                 cooldown: float = 10.0,
+                 services: Optional[List[str]] = None):
+        if not 0 < scale_in_threshold < scale_out_threshold <= 1.0:
+            raise ValueError("need 0 < scale_in < scale_out <= 1")
+        if period <= 0 or startup_delay < 0 or cooldown < 0:
+            raise ValueError("period must be > 0; delays must be >= 0")
+        self.env = env
+        self.deployment = deployment
+        self.period = period
+        self.scale_out_threshold = scale_out_threshold
+        self.scale_in_threshold = scale_in_threshold
+        self.startup_delay = startup_delay
+        self.max_instances = max_instances
+        self.cooldown = cooldown
+        self.services = services
+        self.events: List[AutoscalerEvent] = []
+        self.instance_counts: Dict[str, StepSeries] = {}
+        self._last_action: Dict[str, float] = {}
+        self._pending_out: Dict[str, int] = {}
+        self._prev_busy: Dict[int, float] = {}
+        self._last_sample = env.now
+        self._process = None
+
+    def start(self) -> None:
+        """Begin the control loop."""
+        if self._process is not None:
+            raise RuntimeError("autoscaler already started")
+        for name in self._watched():
+            self.instance_counts[name] = StepSeries(
+                initial=len(self.deployment.instances_of(name)),
+                start=self.env.now)
+        self._process = self.env.process(self._loop(), name="autoscaler")
+
+    def _watched(self) -> List[str]:
+        if self.services is not None:
+            return self.services
+        return list(self.deployment.service_names())
+
+    def _utilization(self, service: str, dt: float) -> float:
+        """Mean tier CPU utilization over the last control period, from
+        cumulative busy-time deltas (non-destructive to other monitors).
+
+        CPU is what real utilization autoscalers watch — and because
+        synchronous worker pools *busy-wait* on blocked downstream
+        calls (see Deployment's sync busy-wait model), a backpressured
+        front tier looks genuinely CPU-saturated here, which is exactly
+        how Fig. 17's case B tricks this policy."""
+        instances = self.deployment.instances_of(service)
+        delta = 0.0
+        cores = 0
+        for inst in instances:
+            busy = inst.cpu.busy_time()
+            delta += busy - self._prev_busy.get(id(inst), 0.0)
+            self._prev_busy[id(inst)] = busy
+            cores += inst.cores
+        if dt <= 0 or cores == 0:
+            return 0.0
+        return min(1.0, delta / (dt * cores))
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.period)
+            dt = self.env.now - self._last_sample
+            self._last_sample = self.env.now
+            for service in self._watched():
+                util = self._utilization(service, dt)
+                now = self.env.now
+                if now - self._last_action.get(service, -1e18) < self.cooldown:
+                    continue
+                n = (len(self.deployment.instances_of(service))
+                     + self._pending_out.get(service, 0))
+                if util > self.scale_out_threshold and n < self.max_instances:
+                    self._last_action[service] = now
+                    self._pending_out[service] = \
+                        self._pending_out.get(service, 0) + 1
+                    self.events.append(AutoscalerEvent(
+                        now, service, "scale_out", util, n + 1))
+                    self.env.process(self._provision(service))
+                elif util < self.scale_in_threshold and n > 1:
+                    self._last_action[service] = now
+                    self.deployment.remove_instance(service)
+                    count = len(self.deployment.instances_of(service))
+                    self.events.append(AutoscalerEvent(
+                        now, service, "scale_in", util, count))
+                    self.instance_counts[service].set(now, count)
+
+    def _provision(self, service: str):
+        """Model instance startup latency before capacity goes live."""
+        yield self.env.timeout(self.startup_delay)
+        self.deployment.add_instance(service)
+        self._pending_out[service] -= 1
+        count = len(self.deployment.instances_of(service))
+        self.instance_counts[service].set(self.env.now, count)

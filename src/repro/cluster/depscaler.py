@@ -1,0 +1,165 @@
+"""Dependency-aware autoscaling.
+
+Section 6's conclusion: utilization-threshold autoscalers "are not
+expressive enough to account for the impact each pair-wise dependency
+has on end-to-end performance" — they scale busy-waiting victims
+instead of culprits and take long to converge.  This module implements
+the fix the paper motivates (and that follow-on systems such as the
+authors' later work pursue): use the *distributed traces* to find the
+tier that is actually responsible for end-to-end latency, then scale
+that tier.
+
+Culprit identification per control period:
+
+1. take the traces completed in the last period;
+2. compute each tier's mean **exclusive** latency (time not spent
+   waiting on its own downstream calls) and its inflation over the
+   tier's healthy baseline;
+3. scale out the tier with the highest inflated exclusive contribution
+   — not the highest CPU utilization.
+
+A blocked front-end shows high *inclusive* latency but low exclusive
+time, so it is never misdiagnosed the way Fig. 17's case B misleads the
+utilization policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Environment
+from ..stats.timeseries import StepSeries
+from ..tracing.analysis import per_service_breakdown, per_service_exclusive
+from ..tracing.collector import TraceCollector
+from .autoscaler import AutoscalerEvent
+
+__all__ = ["DependencyAwareAutoscaler"]
+
+
+class DependencyAwareAutoscaler:
+    """Trace-driven culprit scaling (the Sec. 6 'what it would take')."""
+
+    def __init__(self, env: Environment, deployment,
+                 collector: Optional[TraceCollector] = None,
+                 period: float = 5.0,
+                 qos_latency: Optional[float] = None,
+                 inflation_threshold: float = 1.5,
+                 startup_delay: float = 10.0,
+                 max_instances: int = 64,
+                 baseline_window: float = 15.0):
+        if period <= 0 or startup_delay < 0:
+            raise ValueError("period must be > 0; delay must be >= 0")
+        if inflation_threshold <= 1.0:
+            raise ValueError("inflation_threshold must be > 1")
+        self.env = env
+        self.deployment = deployment
+        self.collector = collector or deployment.collector
+        self.period = period
+        self.qos_latency = qos_latency if qos_latency is not None \
+            else deployment.app.qos_latency
+        self.inflation_threshold = inflation_threshold
+        self.startup_delay = startup_delay
+        self.max_instances = max_instances
+        self.baseline_window = baseline_window
+        self.events: List[AutoscalerEvent] = []
+        self.instance_counts: Dict[str, StepSeries] = {}
+        self._baseline: Dict[str, float] = {}
+        self._seen_traces = 0
+        self._pending: Dict[str, int] = {}
+        self._process = None
+
+    def start(self) -> None:
+        """Begin the control loop."""
+        if self._process is not None:
+            raise RuntimeError("autoscaler already started")
+        for name in self.deployment.service_names():
+            self.instance_counts[name] = StepSeries(
+                initial=len(self.deployment.instances_of(name)),
+                start=self.env.now)
+        self._process = self.env.process(self._loop(), name="dep-scaler")
+
+    # -- internals -------------------------------------------------------
+    def _recent_traces(self):
+        new = self.collector.traces[self._seen_traces:]
+        self._seen_traces = len(self.collector.traces)
+        return new
+
+    def _qos_violated(self, traces) -> bool:
+        if not traces:
+            return False
+        latencies = sorted(t.latency for t in traces)
+        p99 = latencies[min(len(latencies) - 1,
+                            int(0.99 * len(latencies)))]
+        return p99 > self.qos_latency
+
+    @staticmethod
+    def _processing_time(traces) -> Dict[str, float]:
+        """Mean exclusive *processing* time per tier.
+
+        Time spent blocked — waiting for a worker slot or an HTTP
+        connection — is subtracted: a blocked tier is a victim of
+        backpressure, not a culprit, and charging it would reproduce
+        exactly the misdiagnosis this scaler exists to avoid."""
+        exclusive = per_service_exclusive(traces)
+        breakdown = per_service_breakdown(traces)
+        out = {}
+        for service, value in exclusive.items():
+            blocked = breakdown.get(service, {}).get("block", 0.0)
+            out[service] = max(0.0, value - blocked)
+        return out
+
+    def _loop(self):
+        # Build healthy baselines first.
+        yield self.env.timeout(self.baseline_window)
+        baseline_traces = self._recent_traces()
+        if baseline_traces:
+            self._baseline = self._processing_time(baseline_traces)
+        while True:
+            yield self.env.timeout(self.period)
+            traces = self._recent_traces()
+            if not traces:
+                continue
+            if not self._baseline:
+                self._baseline = self._processing_time(traces)
+                continue
+            if not self._qos_violated(traces):
+                continue
+            culprit = self._find_culprit(traces)
+            if culprit is None:
+                continue
+            n = (len(self.deployment.instances_of(culprit))
+                 + self._pending.get(culprit, 0))
+            if n >= self.max_instances:
+                continue
+            self._pending[culprit] = self._pending.get(culprit, 0) + 1
+            self.events.append(AutoscalerEvent(
+                self.env.now, culprit, "scale_out",
+                self.deployment.utilization(culprit), n + 1))
+            self.env.process(self._provision(culprit))
+
+    def _find_culprit(self, traces) -> Optional[str]:
+        """The tier with the largest inflated processing contribution."""
+        processing = self._processing_time(traces)
+        best = None
+        best_score = 0.0
+        for service, value in processing.items():
+            base = self._baseline.get(service)
+            if base is None or base <= 0:
+                continue
+            inflation = value / base
+            if inflation < self.inflation_threshold:
+                continue
+            # Weight by absolute contribution so a tiny tier inflating
+            # 10x doesn't outrank the tier adding milliseconds.
+            score = (value - base)
+            if score > best_score:
+                best_score = score
+                best = service
+        return best
+
+    def _provision(self, service: str):
+        yield self.env.timeout(self.startup_delay)
+        self.deployment.add_instance(service)
+        self._pending[service] -= 1
+        self.instance_counts[service].set(
+            self.env.now, len(self.deployment.instances_of(service)))

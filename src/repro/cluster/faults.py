@@ -1,0 +1,81 @@
+"""Fault injection: machine outages and recovery.
+
+Complements the slow-server and routing-misconfiguration injectors used
+by the Fig. 19/22 experiments with hard failures: a machine goes down,
+its replicas stop taking traffic, and capacity returns after a repair
+time.  Singleton tiers (only replica lives on the failed machine)
+cannot be drained, so they are frozen at a crawl instead — which is
+exactly the scenario where a microservice graph's blast radius dwarfs a
+replicated monolith's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.engine import Environment
+from .machine import Machine
+
+__all__ = ["MachineOutage"]
+
+#: Effective speed of a "down" singleton's instance: not zero (the DES
+#: needs progress for queued work once the machine returns) but slow
+#: enough that every request routed there blows any QoS.
+_FROZEN_FACTOR = 0.02
+
+
+class MachineOutage:
+    """Take one machine out of service, then repair it."""
+
+    def __init__(self, env: Environment, deployment, machine: Machine):
+        self.env = env
+        self.deployment = deployment
+        self.machine = machine
+        self.drained: List = []
+        self.frozen = False
+        self.active = False
+
+    def fail(self) -> None:
+        """Remove the machine's replicas from rotation; freeze the
+        ones that cannot be removed (singletons)."""
+        if self.active:
+            raise RuntimeError("machine already failed")
+        self.active = True
+        for inst in list(self.machine.instances):
+            service = inst.definition.name
+            lb = self.deployment.load_balancer(service)
+            if len(lb.instances) > 1 and inst in lb.instances:
+                lb.remove(inst)
+                self.drained.append(inst)
+        if len(self.drained) < len(self.machine.instances):
+            self.frozen = True
+        if self.frozen:
+            self.machine.set_slow_factor(_FROZEN_FACTOR)
+
+    def repair(self) -> None:
+        """Bring the machine back: restore speed, re-add replicas."""
+        if not self.active:
+            raise RuntimeError("machine is not failed")
+        self.active = False
+        self.machine.set_slow_factor(1.0)
+        for inst in self.drained:
+            service = inst.definition.name
+            self.deployment.load_balancer(service).add(inst)
+        self.drained = []
+        self.frozen = False
+
+    def schedule(self, fail_at: float,
+                 repair_after: Optional[float] = None) -> None:
+        """Fail at ``fail_at`` (absolute sim time) and optionally
+        repair ``repair_after`` seconds later."""
+        if fail_at < self.env.now:
+            raise ValueError("fail_at is in the past")
+
+        def script():
+            yield self.env.timeout(fail_at - self.env.now)
+            self.fail()
+            if repair_after is not None:
+                yield self.env.timeout(repair_after)
+                self.repair()
+
+        self.env.process(script(), name="outage")

@@ -1,0 +1,102 @@
+"""Load-balancing policies for routing requests to service replicas.
+
+Three policies cover the paper's scenarios:
+
+* round-robin — the default for stateless tiers;
+* least-outstanding — what a good L7 balancer does;
+* key-hash — for sharded stateful tiers (timeline stores), where a
+  user's data lives on a fixed replica.  This is what turns user-level
+  request skew into per-replica hotspots (Fig. 22b).
+
+A policy can be pinned to a single replica to model the routing
+misconfiguration of Fig. 22a ("overloaded one instance of each
+microservice, instead of load balancing requests across instances").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .machine import ServiceInstance
+
+__all__ = ["LoadBalancer", "RoundRobin", "LeastOutstanding", "KeyHash"]
+
+
+class LoadBalancer:
+    """Base policy: holds the replica list and the pin override."""
+
+    def __init__(self, instances: List[ServiceInstance]):
+        if not instances:
+            raise ValueError("load balancer needs at least one instance")
+        self.instances = list(instances)
+        self._pinned: Optional[int] = None
+
+    def pin(self, index: int) -> None:
+        """Route all traffic to one replica (fault injection)."""
+        if not 0 <= index < len(self.instances):
+            raise IndexError(f"no replica {index}")
+        self._pinned = index
+
+    def unpin(self) -> None:
+        """Restore normal routing."""
+        self._pinned = None
+
+    def add(self, instance: ServiceInstance) -> None:
+        """Register a new replica (scale-out)."""
+        self.instances.append(instance)
+
+    def remove(self, instance: ServiceInstance) -> None:
+        """Deregister a replica (scale-in); the last replica stays."""
+        if len(self.instances) <= 1:
+            raise ValueError("cannot remove the last replica")
+        self.instances.remove(instance)
+        if self._pinned is not None and self._pinned >= len(self.instances):
+            self._pinned = 0
+
+    def pick(self, key: Optional[int] = None) -> ServiceInstance:
+        """Select a replica for a request with optional routing key."""
+        if self._pinned is not None:
+            return self.instances[self._pinned]
+        return self._select(key)
+
+    def _select(self, key: Optional[int]) -> ServiceInstance:
+        raise NotImplementedError
+
+
+class RoundRobin(LoadBalancer):
+    """Cycle through replicas in order."""
+
+    def __init__(self, instances: List[ServiceInstance]):
+        super().__init__(instances)
+        self._next = 0
+
+    def _select(self, key: Optional[int]) -> ServiceInstance:
+        inst = self.instances[self._next % len(self.instances)]
+        self._next += 1
+        return inst
+
+
+class LeastOutstanding(LoadBalancer):
+    """Send to the replica with the fewest resident requests."""
+
+    def _select(self, key: Optional[int]) -> ServiceInstance:
+        return min(self.instances, key=lambda inst: inst.outstanding)
+
+
+class KeyHash(LoadBalancer):
+    """Route by key so each key's data lives on a fixed replica.
+
+    Requests without a key (no user attribution) fall back to
+    round-robin — they carry no affinity, and pinning them to one shard
+    would fabricate a hotspot."""
+
+    def __init__(self, instances: List[ServiceInstance]):
+        super().__init__(instances)
+        self._next = 0
+
+    def _select(self, key: Optional[int]) -> ServiceInstance:
+        if key is None:
+            inst = self.instances[self._next % len(self.instances)]
+            self._next += 1
+            return inst
+        return self.instances[key % len(self.instances)]

@@ -1,0 +1,339 @@
+"""Deployment runtime: an application bound to a cluster.
+
+A :class:`Deployment` places service replicas on machines, routes
+requests through per-service load balancers, and executes operation
+call trees as simulation processes: request transfer → worker admission
+→ compute → downstream groups (sequential groups of parallel calls) →
+compute → response transfer, producing a full distributed trace per
+end-to-end request.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.loadbalancer import KeyHash, LeastOutstanding, LoadBalancer, RoundRobin
+from ..cluster.machine import ServiceInstance
+from ..cluster.placement import BinPackPlacer, SpreadPlacer
+from ..net.fabric import NetworkFabric
+from ..net.protocols import costs_for
+from ..services.app import Application
+from ..services.calltree import CallNode
+from ..sim.engine import Environment, Process
+from ..sim.resources import Resource
+from ..sim.rng import RandomStreams
+from ..tracing.collector import TraceCollector
+from ..tracing.span import Span, Trace
+
+__all__ = ["Deployment"]
+
+_LB_POLICIES = {
+    "round_robin": RoundRobin,
+    "least_outstanding": LeastOutstanding,
+    "key_hash": KeyHash,
+}
+
+
+class Deployment:
+    """A running instance of an application on a cluster."""
+
+    def __init__(self, env: Environment, app: Application, cluster: Cluster,
+                 replicas: Optional[Dict[str, int]] = None,
+                 cores: Optional[Dict[str, int]] = None,
+                 seed: int = 0,
+                 fabric: Optional[NetworkFabric] = None,
+                 collector: Optional[TraceCollector] = None,
+                 default_replicas: int = 1,
+                 default_cores: int = 2,
+                 lb_policy: str = "round_robin",
+                 placement: str = "spread",
+                 share_machine_cpu: bool = False):
+        if lb_policy not in _LB_POLICIES:
+            raise ValueError(f"unknown lb policy {lb_policy!r}")
+        if placement not in ("spread", "binpack"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        self.env = env
+        self.app = app
+        self.cluster = cluster
+        self.rng = RandomStreams(seed)
+        self.fabric = fabric or NetworkFabric(env, rng=self.rng)
+        self.collector = collector or TraceCollector()
+        self.costs = costs_for(app.protocol)
+        self.replicas = dict(replicas or {})
+        self.cores = dict(cores or {})
+        self.default_replicas = default_replicas
+        self.default_cores = default_cores
+        self.lb_policy = lb_policy
+        #: Colocation mode: instances share their machine's core pool
+        #: instead of owning pinned cores (interference between
+        #: bin-packed neighbours becomes visible).
+        self.share_machine_cpu = share_machine_cpu
+        #: Runtime work multipliers for fault injection (Fig. 19): a
+        #: value of 5.0 makes the tier 5x slower without restarts.
+        self.work_multiplier: Dict[str, float] = defaultdict(lambda: 1.0)
+        #: Per-operation multipliers: a code-level bug confined to one
+        #: request type (the fair way to inject the same fault into a
+        #: monolith, where the buggy function is one slice of the
+        #: binary's work on that operation).
+        self.op_work_multiplier: Dict[str, float] = defaultdict(
+            lambda: 1.0)
+        #: Pure-latency stalls per service (seconds): the tier waits —
+        #: a sick disk, a lock, a colocated antagonist — WITHOUT
+        #: burning its own CPU.  This is how a tier can be slow while
+        #: its utilization stays low (Fig. 17 case B, Fig. 19).
+        self.extra_delay: Dict[str, float] = defaultdict(lambda: 0.0)
+        #: Synchronous worker threads busy-wait while blocked on
+        #: downstream calls (polling/spinning), burning this fraction
+        #: of a core each.  Applies to tiers with a worker pool under a
+        #: blocking protocol — it is why a backpressured front tier
+        #: *looks* CPU-saturated to a utilization autoscaler.
+        self.sync_busy_wait = 0.8
+        self._instances: Dict[str, List[ServiceInstance]] = {}
+        self._lbs: Dict[str, LoadBalancer] = {}
+        self._conn_pools: Dict[tuple, Resource] = {}
+        placer_cls = SpreadPlacer if placement == "spread" \
+            else BinPackPlacer
+        self._placers = {}
+        for zone in {self.app.zone_of(s) for s in app.services}:
+            machines = cluster.zone(zone)
+            if machines:
+                self._placers[zone] = placer_cls(machines)
+        self._place_all()
+
+    # -- placement ----------------------------------------------------------
+    def _place_one(self, service: str) -> ServiceInstance:
+        zone = self.app.zone_of(service)
+        placer = self._placers.get(zone)
+        if placer is None:
+            raise ValueError(
+                f"no machines in zone {zone!r} for service {service!r}")
+        definition = self.app.services[service]
+        cores = self.cores.get(service, self.default_cores)
+        machine = placer.place(definition, cores)
+        inst = ServiceInstance(self.env, definition, machine, cores=cores,
+                               share_machine_cpu=self.share_machine_cpu)
+        if definition.max_workers is not None:
+            inst.set_workers(definition.max_workers)
+        return inst
+
+    def _place_all(self) -> None:
+        for service in self.app.services:
+            count = self.replicas.get(service, self.default_replicas)
+            if count < 1:
+                raise ValueError(f"replicas for {service!r} must be >= 1")
+            instances = [self._place_one(service) for _ in range(count)]
+            self._instances[service] = instances
+            sharded = service in self.app.sharded_services
+            policy = KeyHash if sharded else _LB_POLICIES[self.lb_policy]
+            self._lbs[service] = policy(instances)
+
+    # -- management API (used by the autoscaler and fault injectors) -------
+    def service_names(self) -> List[str]:
+        """All deployed services."""
+        return list(self._instances.keys())
+
+    def instances_of(self, service: str) -> List[ServiceInstance]:
+        """Current replicas of a service."""
+        return self._instances[service]
+
+    def load_balancer(self, service: str) -> LoadBalancer:
+        """The balancer routing to a service's replicas."""
+        return self._lbs[service]
+
+    def add_instance(self, service: str) -> ServiceInstance:
+        """Scale a tier out by one replica."""
+        inst = self._place_one(service)
+        self._instances[service].append(inst)
+        self._lbs[service].add(inst)
+        return inst
+
+    def remove_instance(self, service: str) -> None:
+        """Scale a tier in by one replica (never below one)."""
+        instances = self._instances[service]
+        if len(instances) <= 1:
+            raise ValueError(f"cannot scale {service!r} below one replica")
+        inst = instances.pop()
+        self._lbs[service].remove(inst)
+        inst.detach()
+
+    def slow_down_service(self, service: str, factor: float) -> None:
+        """Inflate one tier's compute cost by ``factor`` (Fig. 19)."""
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        self.work_multiplier[service] = factor
+
+    def slow_down_operation(self, op_name: str, factor: float) -> None:
+        """Inflate all compute of one request type by ``factor``."""
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        if op_name not in self.app.operations:
+            raise KeyError(f"unknown operation {op_name!r}")
+        self.op_work_multiplier[op_name] = factor
+
+    def delay_service(self, service: str, extra_seconds: float) -> None:
+        """Add a pure-latency stall to every request at one tier.
+
+        Unlike :meth:`slow_down_service`, the stall burns no CPU: the
+        tier's utilization stays low while its latency grows — the
+        'seemingly negligible bottleneck' of Fig. 17 case B."""
+        if extra_seconds < 0:
+            raise ValueError("extra_seconds must be >= 0")
+        self.extra_delay[service] = extra_seconds
+
+    def utilization(self, service: str) -> float:
+        """Mean instantaneous CPU utilization across a tier's replicas."""
+        instances = self._instances[service]
+        return sum(i.utilization() for i in instances) / len(instances)
+
+    def total_cpu_seconds(self) -> Dict[str, Dict[str, float]]:
+        """service -> {app, net} nominal CPU seconds consumed so far."""
+        out: Dict[str, Dict[str, float]] = {}
+        for service, instances in self._instances.items():
+            out[service] = {
+                "app": sum(i.app_cpu_seconds for i in instances),
+                "net": sum(i.net_cpu_seconds for i in instances),
+            }
+        return out
+
+    # -- execution ---------------------------------------------------------
+    def _conn_pool(self, client: ServiceInstance, service: str) -> Resource:
+        key = (client.instance_id, service)
+        pool = self._conn_pools.get(key)
+        if pool is None:
+            pool = Resource(self.env,
+                            capacity=self.costs.connections_per_pair)
+            self._conn_pools[key] = pool
+        return pool
+
+    def _sample_work(self, node: CallNode, operation: str) -> float:
+        definition = self.app.services[node.service]
+        mean = (definition.work_mean * node.work_scale
+                * self.work_multiplier[node.service]
+                * self.op_work_multiplier[operation])
+        if mean <= 0:
+            return 0.0
+        return self.rng.lognormal(f"work.{node.service}", mean,
+                                  definition.work_cv)
+
+    def _run_node(self, node: CallNode, caller: Optional[ServiceInstance],
+                  operation: str, user: Optional[int]):
+        definition = self.app.services[node.service]
+        key = user if node.service in self.app.sharded_services else None
+        inst = self._lbs[node.service].pick(key=key)
+        span = Span(service=node.service, operation=operation,
+                    start=self.env.now)
+        inst.outstanding += 1
+        conn = None
+        worker = None
+        try:
+            # HTTP/1 blocking connection between caller and this tier.
+            if self.costs.blocking_connections and caller is not None:
+                pool = self._conn_pool(caller, node.service)
+                t0 = self.env.now
+                conn = pool.request()
+                yield conn
+                span.block_time += self.env.now - t0
+
+            timing_req = yield from self.fabric.transfer(
+                caller, inst, node.request_kb, self.costs)
+
+            if inst.workers is not None:
+                t0 = self.env.now
+                worker = inst.workers.request()
+                yield worker
+                span.block_time += self.env.now - t0
+
+            work = self._sample_work(node, operation)
+            pre = work * node.pre_fraction
+            if pre > 0:
+                t0 = self.env.now
+                yield inst.compute(pre)
+                span.app_time += self.env.now - t0
+
+            stall = self.extra_delay[node.service]
+            if stall > 0:
+                t0 = self.env.now
+                yield self.env.timeout(
+                    self.rng.lognormal(f"stall.{node.service}", stall,
+                                       0.2))
+                span.app_time += self.env.now - t0
+
+            heater_stop = None
+            if (node.groups and worker is not None
+                    and self.costs.blocking_connections
+                    and self.sync_busy_wait > 0):
+                heater_stop = self.env.event()
+                self.env.process(
+                    self._busy_wait(inst, heater_stop),
+                    name="busy-wait")
+            try:
+                for group in node.groups:
+                    if len(group) == 1:
+                        child = yield from self._run_node(
+                            group[0], inst, operation, user)
+                        span.children.append(child)
+                    else:
+                        procs = [
+                            self.env.process(
+                                self._run_node(child, inst, operation,
+                                               user))
+                            for child in group
+                        ]
+                        results = yield self.env.all_of(procs)
+                        span.children.extend(results[i]
+                                             for i in range(len(procs)))
+            finally:
+                if heater_stop is not None:
+                    heater_stop.succeed()
+
+            post = work - work * node.pre_fraction
+            if post > 0:
+                t0 = self.env.now
+                yield inst.compute(post)
+                span.app_time += self.env.now - t0
+
+            timing_resp = yield from self.fabric.transfer(
+                inst, caller, node.response_kb, self.costs)
+            span.net_time += timing_req.total + timing_resp.total
+            for timing in (timing_req, timing_resp):
+                span.net_process_time += (timing.cpu_send
+                                          + timing.cpu_recv
+                                          + timing.offload)
+        finally:
+            if worker is not None:
+                worker.release()
+            if conn is not None:
+                conn.release()
+            inst.outstanding -= 1
+        span.end = self.env.now
+        return span
+
+    def _busy_wait(self, inst: ServiceInstance, stop):
+        """A synchronous worker spinning while its downstream call is
+        outstanding: burn ``sync_busy_wait`` of a core in small quanta
+        until ``stop`` triggers."""
+        quantum = 1e-3
+        frac = self.sync_busy_wait
+        while not stop.triggered:
+            yield inst.cpu.service(quantum * frac)
+            if stop.triggered:
+                break
+            yield self.env.timeout(quantum * (1.0 - frac))
+
+    def _run_operation(self, op_name: str, user: Optional[int]):
+        op = self.app.operations[op_name]
+        root_span = yield from self._run_node(op.root, None, op_name, user)
+        trace = Trace(operation=op_name, root=root_span, user=user)
+        self.collector.collect(trace)
+        return trace
+
+    def execute(self, op_name: str,
+                user: Optional[int] = None) -> Process:
+        """Launch one end-to-end request; the returned process event's
+        value is the finished :class:`~repro.tracing.span.Trace`."""
+        if op_name not in self.app.operations:
+            raise KeyError(f"unknown operation {op_name!r}")
+        return self.env.process(self._run_operation(op_name, user),
+                                name=f"{self.app.name}.{op_name}")

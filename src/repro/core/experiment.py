@@ -1,0 +1,185 @@
+"""The experiment harness: run a deployment under load and measure.
+
+This is the public entry point the examples and every benchmark build
+on: construct a deployment (or let :func:`simulate` do it), drive it
+with an open-loop generator, sample per-tier utilization over time, and
+return an :class:`ExperimentResult` with the latency distribution,
+throughput, per-service statistics, and time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..arch.platform import XEON, Platform
+from ..cluster.cluster import Cluster
+from ..cluster.ratelimit import TokenBucket
+from ..services.app import Application
+from ..sim.engine import Environment
+from ..stats.timeseries import TimeSeries
+from ..tracing.collector import TraceCollector
+from ..workload.generator import OpenLoopGenerator
+from ..workload.patterns import constant
+from ..workload.users import UserPopulation
+from .deployment import Deployment
+
+__all__ = ["ExperimentResult", "run_experiment", "simulate"]
+
+RateFn = Callable[[float], float]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured during one experiment run."""
+
+    deployment: Deployment
+    generator: OpenLoopGenerator
+    collector: TraceCollector
+    utilization: Dict[str, TimeSeries]
+    duration: float
+    warmup: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # -- latency ---------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        """Post-warmup end-to-end latency samples (seconds)."""
+        return self.collector.end_to_end.samples(start=self.warmup)
+
+    def tail(self, p: float = 0.99) -> float:
+        """Post-warmup end-to-end tail latency."""
+        return self.collector.end_to_end.tail(p, start=self.warmup)
+
+    def mean_latency(self) -> float:
+        """Post-warmup mean end-to-end latency."""
+        return self.collector.end_to_end.mean(start=self.warmup)
+
+    def service_tail(self, service: str, p: float = 0.99) -> float:
+        """Post-warmup tail latency of one tier's spans."""
+        return self.collector.per_service[service].tail(p, start=self.warmup)
+
+    # -- throughput -------------------------------------------------------
+    def throughput(self) -> float:
+        """Completed end-to-end requests per second post-warmup."""
+        return self.collector.end_to_end.throughput(
+            start=self.warmup, end=self.duration)
+
+    def completion_ratio(self) -> float:
+        """Completed / issued — below ~0.95 means the system never
+        drained its queues (a saturation signal in its own right)."""
+        if self.generator.issued == 0:
+            return 0.0
+        return self.collector.total_collected / self.generator.issued
+
+    def goodput(self, qos_latency: Optional[float] = None,
+                p: float = 0.99,
+                min_completion: float = 0.9) -> float:
+        """Throughput if QoS holds (and the system keeps up), else 0."""
+        bound = qos_latency if qos_latency is not None \
+            else self.deployment.app.qos_latency
+        if self.completion_ratio() < min_completion:
+            return 0.0
+        if len(self.latencies()) == 0:
+            return 0.0
+        if self.tail(p) > bound:
+            return 0.0
+        return self.throughput()
+
+    def qos_met(self, qos_latency: Optional[float] = None,
+                p: float = 0.99) -> bool:
+        """True when the post-warmup tail satisfies the QoS bound."""
+        return self.goodput(qos_latency, p) > 0.0
+
+
+def run_experiment(deployment: Deployment,
+                   rate: Union[float, RateFn],
+                   duration: float,
+                   warmup: Optional[float] = None,
+                   mix: Optional[Mapping[str, float]] = None,
+                   users: Optional[UserPopulation] = None,
+                   rate_limiter: Optional[TokenBucket] = None,
+                   sample_period: float = 1.0,
+                   seed: int = 1,
+                   run_env: bool = True) -> ExperimentResult:
+    """Drive ``deployment`` with open-loop load and measure.
+
+    ``rate`` is either a fixed QPS or a pattern function.  The
+    environment is run to ``duration`` unless ``run_env=False`` (callers
+    who schedule extra processes — autoscalers, fault injectors — can
+    run the clock themselves and still get the monitoring plumbing)."""
+    env = deployment.env
+    if warmup is None:
+        warmup = 0.2 * duration
+    rate_fn: RateFn = rate if callable(rate) else constant(float(rate))
+    generator = OpenLoopGenerator(deployment, rate_fn, mix=mix,
+                                  users=users, rate_limiter=rate_limiter,
+                                  seed=seed)
+    # Serverless deployments have no provisioned instances to watch.
+    monitorable = hasattr(deployment, "instances_of")
+    utilization: Dict[str, TimeSeries] = {
+        name: TimeSeries(name) for name in deployment.service_names()
+    } if monitorable else {}
+
+    def monitor():
+        # Windowed utilization from cumulative busy-time deltas, so this
+        # observer never perturbs the autoscaler's own sampling.
+        prev_busy: Dict[int, float] = {}
+        last_t = env.now
+        while True:
+            yield env.timeout(sample_period)
+            dt = env.now - last_t
+            last_t = env.now
+            for name, series in utilization.items():
+                instances = deployment.instances_of(name)
+                delta = 0.0
+                cores = 0
+                for inst in instances:
+                    busy = inst.cpu.busy_time()
+                    delta += busy - prev_busy.get(id(inst), 0.0)
+                    prev_busy[id(inst)] = busy
+                    cores += inst.cores
+                series.record(env.now,
+                              min(1.0, delta / (dt * cores)) if dt > 0
+                              else 0.0)
+
+    if monitorable:
+        env.process(monitor(), name="monitor")
+    generator.start(duration)
+    result = ExperimentResult(
+        deployment=deployment, generator=generator,
+        collector=deployment.collector, utilization=utilization,
+        duration=duration, warmup=warmup)
+    if run_env:
+        env.run(until=duration)
+    return result
+
+
+def simulate(app: Application,
+             qps: Union[float, RateFn],
+             duration: float = 30.0,
+             platform: Platform = XEON,
+             n_machines: int = 4,
+             replicas: Optional[Dict[str, int]] = None,
+             cores: Optional[Dict[str, int]] = None,
+             seed: int = 0,
+             freq_ghz: Optional[float] = None,
+             edge_machines: int = 0,
+             edge_platform: Optional[Platform] = None,
+             **kwargs) -> ExperimentResult:
+    """One-call convenience: build env + cluster + deployment and run."""
+    env = Environment()
+    cluster = Cluster.homogeneous(env, platform, n_machines)
+    if edge_machines > 0:
+        from ..arch.platform import DRONE_SOC
+        edge = Cluster.homogeneous(env, edge_platform or DRONE_SOC,
+                                   edge_machines, zone="edge",
+                                   name_prefix="drone")
+        cluster = cluster.merge(edge)
+    if freq_ghz is not None:
+        cluster.set_frequency(freq_ghz)
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores=cores, seed=seed)
+    return run_experiment(deployment, qps, duration, seed=seed + 1,
+                          **kwargs)

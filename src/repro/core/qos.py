@@ -1,0 +1,47 @@
+"""QoS targets and goodput.
+
+Every comparative result in the paper is phrased against a QoS target:
+"max QPS at QoS", "tail latency normalized to QoS", "goodput
+(throughput under QoS)".  A :class:`QoSTarget` is a latency bound at a
+percentile; goodput is throughput while the bound holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..stats.percentiles import percentile
+
+__all__ = ["QoSTarget"]
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """An end-to-end tail-latency bound."""
+
+    latency: float
+    percentile: float = 0.99
+
+    def __post_init__(self):
+        if self.latency <= 0:
+            raise ValueError("latency must be > 0")
+        if not 0.0 < self.percentile < 1.0:
+            raise ValueError("percentile must be in (0,1)")
+
+    def tail(self, samples: Sequence[float]) -> float:
+        """Observed tail latency of a sample set."""
+        return percentile(samples, self.percentile)
+
+    def met(self, samples: Sequence[float]) -> bool:
+        """True if the sample set satisfies the bound."""
+        return self.tail(samples) <= self.latency
+
+    def violation_factor(self, samples: Sequence[float]) -> float:
+        """Observed tail divided by the bound (>1 means violated)."""
+        return self.tail(samples) / self.latency
+
+    def goodput(self, samples: Sequence[float],
+                throughput: float) -> float:
+        """Throughput if QoS holds, else 0 — the Fig. 22 y-axis."""
+        return throughput if self.met(samples) else 0.0

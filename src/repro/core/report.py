@@ -1,0 +1,97 @@
+"""Markdown experiment reports.
+
+Turns one :class:`~repro.core.experiment.ExperimentResult` into a
+self-contained markdown document: headline metrics, latency
+distribution, per-tier attribution (exclusive time, network share,
+critical-path frequency), per-tier architectural profiles, and the
+deployment's placement picture.  The CLI's ``report`` command writes it
+to a file; notebooks can render it inline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arch.core_model import CoreModel
+from ..cluster.placement import placement_report
+from ..stats.percentiles import summarize
+from ..tracing.analysis import (
+    critical_path_services,
+    network_share,
+    per_service_exclusive,
+)
+
+__all__ = ["render_report"]
+
+
+def _md_table(headers: List[str], rows: List[list]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def render_report(result, title: str = "") -> str:
+    """Render a full markdown report for one experiment result."""
+    app = result.deployment.app
+    lines = [f"# {title or app.name} experiment report", ""]
+
+    # Headline.
+    stats = summarize(result.latencies())
+    lines.append("## Summary")
+    lines.append("")
+    lines.append(_md_table(
+        ["metric", "value"],
+        [["application", app.name],
+         ["protocol", app.protocol.upper()],
+         ["duration (s)", f"{result.duration:g}"],
+         ["completed requests", result.collector.total_collected],
+         ["throughput (req/s)", f"{result.throughput():.1f}"],
+         ["mean latency (ms)", f"{stats['mean'] * 1e3:.2f}"],
+         ["p50 / p95 / p99 (ms)",
+          f"{stats['p50'] * 1e3:.2f} / {stats['p95'] * 1e3:.2f} / "
+          f"{stats['p99'] * 1e3:.2f}"],
+         ["QoS target (ms)", f"{app.qos_latency * 1e3:.1f}"],
+         ["QoS met", result.qos_met()],
+         ["completion ratio", f"{result.completion_ratio():.3f}"]]))
+    lines.append("")
+
+    # Tier attribution.
+    traces = [t for t in result.collector.traces
+              if t.start >= result.warmup]
+    if traces:
+        exclusive = per_service_exclusive(traces)
+        critical = critical_path_services(traces)
+        top = sorted(exclusive.items(), key=lambda kv: -kv[1])[:10]
+        lines.append("## Where the latency goes")
+        lines.append("")
+        lines.append(f"Network processing share of execution: "
+                     f"**{network_share(traces):.1%}**")
+        lines.append("")
+        model = CoreModel()
+        rows = []
+        for service, value in top:
+            profile = model.profile(app.services[service].traits)
+            rows.append([
+                service,
+                f"{value * 1e6:.0f}",
+                f"{critical.get(service, 0.0):.0%}",
+                f"{profile['l1i_mpki']:.1f}",
+                f"{profile['ipc']:.2f}",
+            ])
+        lines.append(_md_table(
+            ["tier", "exclusive us/req", "on critical path",
+             "L1i MPKI", "IPC"], rows))
+        lines.append("")
+
+    # Placement.
+    machines = [m for m in result.deployment.cluster.machines
+                if m.instances]
+    lines.append("## Placement")
+    lines.append("")
+    lines.append(_md_table(
+        ["machine", "instances", "cores used", "services"],
+        placement_report(machines)))
+    lines.append("")
+    return "\n".join(lines)

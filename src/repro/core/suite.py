@@ -1,0 +1,76 @@
+"""The DeathStarBench suite facade.
+
+One object that hands out applications, their monolithic counterparts,
+QoS targets, and the Table 1 suite-composition report — the top of the
+public API:
+
+    >>> from repro import DeathStarBench
+    >>> suite = DeathStarBench()
+    >>> app = suite.build("social_network")
+    >>> app.unique_microservices
+    36
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.registry import APP_BUILDERS, build_app, build_monolith
+from ..services.app import Application
+from ..stats.tables import format_table
+from .qos import QoSTarget
+
+__all__ = ["DeathStarBench"]
+
+
+class DeathStarBench:
+    """Registry + reporting facade over the six end-to-end services."""
+
+    def apps(self) -> List[str]:
+        """Names of the end-to-end applications."""
+        return list(APP_BUILDERS.keys())
+
+    def build(self, name: str) -> Application:
+        """Construct one application."""
+        return build_app(name)
+
+    def build_monolith(self, name: str) -> Application:
+        """Construct an application's monolithic counterpart."""
+        return build_monolith(name)
+
+    def build_all(self) -> Dict[str, Application]:
+        """Construct every application."""
+        return {name: build_app(name) for name in self.apps()}
+
+    def qos(self, name: str) -> QoSTarget:
+        """The end-to-end QoS target of one application."""
+        return QoSTarget(latency=build_app(name).qos_latency)
+
+    # -- Table 1 ---------------------------------------------------------
+    def table1_rows(self) -> List[list]:
+        """One row per service: measured vs. paper characteristics."""
+        rows = []
+        for name, app in self.build_all().items():
+            paper = app.metadata.get("paper_table1", {})
+            langs = app.language_breakdown()
+            top = ", ".join(f"{lang} {share:.0%}"
+                            for lang, share in list(langs.items())[:4])
+            rows.append([
+                name,
+                app.protocol.upper(),
+                app.unique_microservices,
+                paper.get("unique_microservices", "-"),
+                paper.get("total_locs", "-"),
+                top,
+            ])
+        return rows
+
+    def table1(self) -> str:
+        """Render the suite-composition table (paper Table 1)."""
+        return format_table(
+            ["service", "protocol", "microservices (built)",
+             "microservices (paper)", "paper LoCs",
+             "top languages (built)"],
+            self.table1_rows(),
+            title="Table 1: characteristics of each end-to-end service",
+        )

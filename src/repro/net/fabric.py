@@ -1,0 +1,171 @@
+"""The network fabric: what happens between two service instances.
+
+One message traverses: sender kernel TCP processing (CPU work on the
+sender's cores — or the FPGA offload path), the sender NIC transmission
+queue, the wire/switch latency for the zone pair, the receiver NIC, and
+receiver kernel TCP processing.  Same-machine calls short-circuit to
+IPC (Swarm-Edge services on one drone communicate over IPC — Sec. 3.6).
+
+Because TCP processing runs on the same processor-sharing cores as
+application logic, a saturated tier's *network* time inflates along
+with its compute — which is exactly the Fig. 15 observation that network
+processing grows from ~18 % of tail latency at low load to dominating it
+at high load, and the Fig. 3 observation that microservices spend ~36 %
+of time in network processing vs. 5-20 % for monolithic services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..sim.engine import Environment
+from ..sim.rng import RandomStreams
+from .fpga import FpgaOffload
+from .protocols import IPC_COSTS, ProtocolCosts
+
+__all__ = ["NetworkFabric", "TransferTiming", "DEFAULT_ZONE_LATENCY"]
+
+#: One-way propagation+switching latency per (src_zone, dst_zone), seconds.
+DEFAULT_ZONE_LATENCY: Dict[Tuple[str, str], float] = {
+    ("cloud", "cloud"): 25e-6,     # same ToR switch
+    ("client", "cloud"): 100e-6,   # load generator to cluster
+    ("cloud", "client"): 100e-6,
+    ("edge", "cloud"): 10e-3,      # drone wifi over tens of meters
+    ("cloud", "edge"): 10e-3,
+    ("edge", "edge"): 2.5e-3,      # drone to drone via wireless router
+    ("client", "edge"): 2.5e-3,
+    ("edge", "client"): 2.5e-3,
+}
+
+
+@dataclass
+class TransferTiming:
+    """Where one message's latency went (all seconds of wall time)."""
+
+    cpu_send: float = 0.0
+    cpu_recv: float = 0.0
+    nic: float = 0.0
+    wire: float = 0.0
+    offload: float = 0.0
+    total: float = 0.0
+    #: Host CPU work consumed (nominal seconds), for attribution.
+    host_cpu_work: float = 0.0
+
+    def merge(self, other: "TransferTiming") -> None:
+        """Accumulate another message's timing into this one."""
+        self.cpu_send += other.cpu_send
+        self.cpu_recv += other.cpu_recv
+        self.nic += other.nic
+        self.wire += other.wire
+        self.offload += other.offload
+        self.total += other.total
+        self.host_cpu_work += other.host_cpu_work
+
+
+@dataclass
+class NetworkFabric:
+    """Shared network model for one deployment."""
+
+    env: Environment
+    rng: RandomStreams = field(default_factory=lambda: RandomStreams(0))
+    zone_latency: Dict[Tuple[str, str], float] = field(
+        default_factory=lambda: dict(DEFAULT_ZONE_LATENCY))
+    #: Coefficient of variation of multiplicative wire-latency jitter
+    #: (serverless placements crank this up).
+    jitter_cv: float = 0.1
+    #: Kernel network processing gets superlinearly more expensive as a
+    #: host loads up (interrupt-coalescing breakdown, softirq
+    #: contention, socket-buffer pressure): per-message CPU cost is
+    #: multiplied by ``1 + coeff * utilization^2``.  This is the
+    #: mechanism behind Fig. 15's "network processing becomes a much
+    #: more pronounced factor of tail latency at high load".
+    congestion_coeff: float = 1.5
+    fpga: Optional[FpgaOffload] = None
+
+    def latency(self, src_zone: str, dst_zone: str) -> float:
+        """Base one-way latency for a zone pair."""
+        try:
+            return self.zone_latency[(src_zone, dst_zone)]
+        except KeyError:
+            raise ValueError(
+                f"no latency configured for {src_zone!r}->{dst_zone!r}"
+            ) from None
+
+    def _jittered(self, base: float) -> float:
+        if self.jitter_cv <= 0 or base <= 0:
+            return base
+        return self.rng.lognormal("fabric.jitter", base, self.jitter_cv)
+
+    def _congested(self, cost: float, instance) -> float:
+        """Inflate kernel CPU cost by the host's current load."""
+        if self.congestion_coeff <= 0:
+            return cost
+        util = instance.cpu.instantaneous_utilization()
+        return cost * (1.0 + self.congestion_coeff * util * util)
+
+    def transfer(self, src, dst, size_kb: float, costs: ProtocolCosts):
+        """Move one message from ``src`` to ``dst`` (either may be None
+        for the external client).  A generator to be driven with
+        ``yield from``; returns a :class:`TransferTiming`."""
+        if size_kb < 0:
+            raise ValueError("size_kb must be >= 0")
+        timing = TransferTiming()
+        start = self.env.now
+        same_machine = (src is not None and dst is not None
+                        and src.machine is dst.machine)
+        if same_machine:
+            costs = IPC_COSTS
+
+        # Sender-side protocol processing.
+        if src is not None:
+            cost = self._congested(costs.send_cost(size_kb), src)
+            if self.fpga is not None and not same_machine:
+                delay = self.fpga.offload_latency(cost, size_kb)
+                yield self.env.timeout(delay)
+                timing.offload += delay
+            else:
+                t0 = self.env.now
+                yield src.network_compute(cost)
+                timing.cpu_send = self.env.now - t0
+                timing.host_cpu_work += cost
+
+        if not same_machine:
+            # Sender NIC serialization.
+            if src is not None:
+                with src.machine.nic_tx.request() as req:
+                    t0 = self.env.now
+                    yield req
+                    yield self.env.timeout(
+                        size_kb / src.machine.nic_bandwidth_kb_s)
+                    timing.nic += self.env.now - t0
+            # Wire / switch propagation.
+            src_zone = src.machine.zone if src is not None else "client"
+            dst_zone = dst.machine.zone if dst is not None else "client"
+            wire = self._jittered(self.latency(src_zone, dst_zone))
+            yield self.env.timeout(wire)
+            timing.wire = wire
+            # Receiver NIC.
+            if dst is not None:
+                with dst.machine.nic_rx.request() as req:
+                    t0 = self.env.now
+                    yield req
+                    yield self.env.timeout(
+                        size_kb / dst.machine.nic_bandwidth_kb_s)
+                    timing.nic += self.env.now - t0
+
+        # Receiver-side protocol processing.
+        if dst is not None:
+            cost = self._congested(costs.recv_cost(size_kb), dst)
+            if self.fpga is not None and not same_machine:
+                delay = self.fpga.offload_latency(cost, size_kb)
+                yield self.env.timeout(delay)
+                timing.offload += delay
+            else:
+                t0 = self.env.now
+                yield dst.network_compute(cost)
+                timing.cpu_recv = self.env.now - t0
+                timing.host_cpu_work += cost
+
+        timing.total = self.env.now - start
+        return timing

@@ -1,0 +1,44 @@
+"""Bump-in-the-wire FPGA TCP offload (Fig. 16).
+
+The paper places a Virtex-7 FPGA between each NIC and the ToR switch and
+offloads the entire TCP stack onto it.  Two effects matter:
+
+1. the host CPU no longer spends kernel cycles on TCP processing, and
+2. the processing itself completes 10-68x faster than the native stack.
+
+We model the offload as: a message's TCP processing costs zero host CPU
+and contributes ``native_cpu_cost / speedup`` of pure latency instead.
+The paper reports the *distribution* of speedups across services as
+10-68x; we draw a deterministic per-size speedup within that band
+(larger messages benefit more, as the HLS pipeline streams payloads).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FpgaOffload"]
+
+
+class FpgaOffload:
+    """TCP offload configuration applied to a deployment's fabric."""
+
+    def __init__(self, min_speedup: float = 10.0, max_speedup: float = 68.0,
+                 saturation_kb: float = 64.0):
+        if not 1.0 <= min_speedup <= max_speedup:
+            raise ValueError("need 1 <= min_speedup <= max_speedup")
+        if saturation_kb <= 0:
+            raise ValueError("saturation_kb must be > 0")
+        self.min_speedup = min_speedup
+        self.max_speedup = max_speedup
+        self.saturation_kb = saturation_kb
+
+    def speedup(self, size_kb: float) -> float:
+        """Speedup over native TCP for a message of ``size_kb``."""
+        frac = min(1.0, max(0.0, size_kb / self.saturation_kb))
+        return self.min_speedup + frac * (self.max_speedup - self.min_speedup)
+
+    def offload_latency(self, native_cpu_cost_s: float,
+                        size_kb: float) -> float:
+        """Wire-side processing latency replacing the host CPU work."""
+        if native_cpu_cost_s < 0:
+            raise ValueError("native cost must be >= 0")
+        return native_cpu_cost_s / self.speedup(size_kb)

@@ -1,0 +1,7 @@
+"""Serverless substrate: Lambda functions and EC2 cost comparison."""
+
+from .ec2_model import Ec2CostModel
+from .lambda_model import LambdaConfig, LambdaDeployment, LambdaUsage
+
+__all__ = ["Ec2CostModel", "LambdaConfig", "LambdaDeployment",
+           "LambdaUsage"]

@@ -1,0 +1,22 @@
+"""Microservice abstractions: definitions, call trees, applications."""
+
+from .app import Application, Operation, Protocol
+from .calltree import CallNode, par, seq
+from .definition import ServiceDefinition, ServiceKind
+from .graphviz import dependency_edges, to_dot
+from .monolith import MONOLITH_SERVICE_NAME, monolithify
+
+__all__ = [
+    "Application",
+    "CallNode",
+    "MONOLITH_SERVICE_NAME",
+    "Operation",
+    "Protocol",
+    "ServiceDefinition",
+    "ServiceKind",
+    "dependency_edges",
+    "monolithify",
+    "to_dot",
+    "par",
+    "seq",
+]

@@ -1,0 +1,172 @@
+"""End-to-end application model.
+
+An :class:`Application` bundles the service definitions, the operations
+(call trees) users can invoke, the default request mix, the wire
+protocol between tiers, and the end-to-end QoS target.  It is the unit
+the cluster deploys, the workload generator drives, and the benchmark
+harness measures — the simulation analogue of one DeathStarBench app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .calltree import CallNode
+from .definition import ServiceDefinition, ServiceKind
+
+__all__ = ["Application", "Operation", "Protocol"]
+
+
+class Protocol:
+    """Inter-tier wire protocols (Sec. 7 compares them)."""
+
+    RPC = "rpc"    # Apache-Thrift-like binary RPC
+    HTTP = "http"  # REST over HTTP/1 with blocking connections
+
+    ALL = (RPC, HTTP)
+
+
+@dataclass
+class Operation:
+    """One user-visible request type: a named call tree plus mix weight."""
+
+    name: str
+    root: CallNode
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("operation name must be non-empty")
+        if self.weight < 0:
+            raise ValueError("weight must be >= 0")
+
+
+@dataclass
+class Application:
+    """A complete end-to-end microservices application."""
+
+    name: str
+    services: Dict[str, ServiceDefinition]
+    operations: Dict[str, Operation]
+    protocol: str = Protocol.RPC
+    #: End-to-end p99 target in seconds (QoS for goodput measurements).
+    qos_latency: float = 0.1
+    #: Which service handles external clients (the load balancer target).
+    entry_service: Optional[str] = None
+    #: Services sharded by user key (timeline stores etc.) — routed by
+    #: consistent hashing instead of round-robin; the skew experiments
+    #: (Fig. 22b) rely on this.
+    sharded_services: List[str] = field(default_factory=list)
+    #: Service → placement zone ("cloud"/"edge"); unlisted services run
+    #: in the cloud.  Swarm-Edge pins its on-drone services to "edge".
+    service_zones: Dict[str, str] = field(default_factory=dict)
+    #: Free-form metadata mirrored from the paper's Table 1.
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.protocol not in Protocol.ALL:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.qos_latency <= 0:
+            raise ValueError("qos_latency must be > 0")
+        if not self.operations:
+            raise ValueError("application needs at least one operation")
+        self.validate()
+
+    # -- validation ------------------------------------------------------
+    def validate(self) -> None:
+        """Check every call-tree target resolves to a defined service."""
+        for op in self.operations.values():
+            for node in op.root.walk():
+                if node.service not in self.services:
+                    raise ValueError(
+                        f"operation {op.name!r} calls undefined service "
+                        f"{node.service!r}")
+        for name in self.sharded_services:
+            if name not in self.services:
+                raise ValueError(f"sharded service {name!r} undefined")
+        if self.entry_service is not None and \
+                self.entry_service not in self.services:
+            raise ValueError(f"entry service {self.entry_service!r} undefined")
+        for name in self.service_zones:
+            if name not in self.services:
+                raise ValueError(f"zoned service {name!r} undefined")
+
+    def zone_of(self, service: str) -> str:
+        """Placement zone for a service (default: cloud)."""
+        return self.service_zones.get(service, "cloud")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def unique_microservices(self) -> int:
+        """Number of distinct services (the Table 1 column)."""
+        return len(self.services)
+
+    def default_mix(self) -> Dict[str, float]:
+        """Operation name → normalized mix probability."""
+        total = sum(op.weight for op in self.operations.values())
+        if total <= 0:
+            raise ValueError("all operation weights are zero")
+        return {name: op.weight / total
+                for name, op in self.operations.items()}
+
+    def operation_work(self, op_name: str) -> float:
+        """Total nominal CPU seconds an operation consumes (no network)."""
+        op = self.operations[op_name]
+        return sum(self.services[node.service].work_mean * node.work_scale
+                   for node in op.root.walk())
+
+    def mean_work_per_request(self, mix: Optional[Mapping[str, float]] = None
+                              ) -> float:
+        """Mix-weighted mean CPU demand per end-to-end request."""
+        mix = dict(mix) if mix is not None else self.default_mix()
+        return sum(p * self.operation_work(op) for op, p in mix.items())
+
+    def visit_counts(self, mix: Optional[Mapping[str, float]] = None
+                     ) -> Dict[str, float]:
+        """Service → expected visits per end-to-end request under ``mix``."""
+        mix = dict(mix) if mix is not None else self.default_mix()
+        visits: Dict[str, float] = {name: 0.0 for name in self.services}
+        for op_name, p in mix.items():
+            for service, count in self.operations[op_name].root.visits().items():
+                visits[service] += p * count
+        return visits
+
+    def language_breakdown(self) -> Dict[str, float]:
+        """Language → share of services (the Table 1 per-language mix)."""
+        counts: Dict[str, int] = {}
+        for svc in self.services.values():
+            counts[svc.language] = counts.get(svc.language, 0) + 1
+        total = len(self.services)
+        return {lang: n / total for lang, n in
+                sorted(counts.items(), key=lambda kv: -kv[1])}
+
+    def with_work_scaled(self, factor: float) -> "Application":
+        """A copy with every service's CPU demand (and the QoS target)
+        multiplied by ``factor``.
+
+        Useful for *time-dilated* experiment configurations: scaling
+        work and QoS together preserves every utilization and relative
+        latency while lowering the request rates (and hence simulation
+        cost) needed to reach a given operating point."""
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        return Application(
+            name=f"{self.name}-x{factor:g}",
+            services={name: svc.scaled(factor)
+                      for name, svc in self.services.items()},
+            operations=self.operations,
+            protocol=self.protocol,
+            qos_latency=self.qos_latency * factor,
+            entry_service=self.entry_service,
+            sharded_services=list(self.sharded_services),
+            service_zones=dict(self.service_zones),
+            metadata=dict(self.metadata),
+        )
+
+    def datastore_services(self) -> List[str]:
+        """Names of cache/database/queue tiers."""
+        backends = (ServiceKind.CACHE, ServiceKind.DATABASE,
+                    ServiceKind.QUEUE)
+        return [name for name, svc in self.services.items()
+                if svc.kind in backends]

@@ -1,0 +1,135 @@
+"""Standard open-source component models.
+
+The suite's design principle of *representativeness* (Sec. 3.1) means
+every app reuses the same handful of production components: nginx,
+php-fpm, memcached, MongoDB, MySQL, RabbitMQ-style queues, NFS video
+storage, and Xapian search.  This module provides calibrated
+:class:`~repro.services.definition.ServiceDefinition` factories for them
+so each application graph instantiates consistent tiers.
+
+Calibration anchors (nominal Xeon core):
+
+* memcached get ~ 30 us of CPU — its standalone client latency of 186 us
+  in Fig. 3 is dominated by network/kernel time, which the network model
+  adds on top.
+* MongoDB query ~ 250 us CPU with low frequency sensitivity (I/O bound —
+  the one monolithic tier that tolerates minimum frequency in Fig. 12).
+* nginx request handling ~ 80 us, large i-cache footprint, kernel-heavy.
+* Xapian search shard ~ 900 us, high locality (high IPC per Fig. 10).
+* ML recommender ~ 2.5 ms, memory-bound (lowest IPC in Fig. 10).
+"""
+
+from __future__ import annotations
+
+from .definition import ServiceDefinition, ServiceKind
+
+__all__ = [
+    "nginx", "php_fpm", "memcached", "mongodb", "mysql", "nfs_store",
+    "message_queue", "xapian_search", "search_index", "recommender",
+    "node_frontend",
+]
+
+
+def nginx(name: str = "nginx", work_mean: float = 80e-6) -> ServiceDefinition:
+    """An nginx web server / load-balancer tier."""
+    return ServiceDefinition(
+        name=name, language="c", kind=ServiceKind.FRONTEND,
+        work_mean=work_mean, work_cv=0.4, freq_sensitivity=0.85,
+    ).with_traits(icache_footprint_kb=140, kernel_share=0.55,
+                  library_share=0.15, memory_locality=0.6,
+                  branch_entropy=0.45)
+
+
+def php_fpm(name: str = "php-fpm") -> ServiceDefinition:
+    """The php-fpm bridge between nginx and the Thrift services."""
+    return ServiceDefinition(
+        name=name, language="php", kind=ServiceKind.FRONTEND,
+        work_mean=180e-6, work_cv=0.5, freq_sensitivity=0.9,
+    ).with_traits(icache_footprint_kb=180, kernel_share=0.3,
+                  library_share=0.35)
+
+
+def memcached(name: str) -> ServiceDefinition:
+    """An in-memory key-value cache tier."""
+    return ServiceDefinition(
+        name=name, language="c", kind=ServiceKind.CACHE,
+        work_mean=30e-6, work_cv=0.3, freq_sensitivity=0.75,
+    ).with_traits(icache_footprint_kb=140, kernel_share=0.65,
+                  library_share=0.15, memory_locality=0.5,
+                  branch_entropy=0.3)
+
+
+def mongodb(name: str) -> ServiceDefinition:
+    """A persistent document store; I/O bound, frequency insensitive."""
+    return ServiceDefinition(
+        name=name, language="c++", kind=ServiceKind.DATABASE,
+        work_mean=250e-6, work_cv=0.8, freq_sensitivity=0.15,
+    ).with_traits(icache_footprint_kb=260, kernel_share=0.45,
+                  library_share=0.2, memory_locality=0.45,
+                  branch_entropy=0.45)
+
+
+def mysql(name: str) -> ServiceDefinition:
+    """A sharded/replicated relational store (Media's MovieDB)."""
+    return ServiceDefinition(
+        name=name, language="c++", kind=ServiceKind.DATABASE,
+        work_mean=400e-6, work_cv=0.9, freq_sensitivity=0.25,
+    ).with_traits(icache_footprint_kb=300, kernel_share=0.4,
+                  library_share=0.2, memory_locality=0.45)
+
+
+def nfs_store(name: str = "nfs") -> ServiceDefinition:
+    """NFS-backed chunked video storage (Media streaming)."""
+    return ServiceDefinition(
+        name=name, language="c", kind=ServiceKind.DATABASE,
+        work_mean=120e-6, work_cv=0.6, freq_sensitivity=0.1,
+    ).with_traits(icache_footprint_kb=110, kernel_share=0.7,
+                  library_share=0.1)
+
+
+def message_queue(name: str) -> ServiceDefinition:
+    """A RabbitMQ-style durable queue (E-commerce orderQueue)."""
+    return ServiceDefinition(
+        name=name, language="c++", kind=ServiceKind.QUEUE,
+        work_mean=60e-6, work_cv=0.4, freq_sensitivity=0.6,
+    ).with_traits(icache_footprint_kb=120, kernel_share=0.5,
+                  library_share=0.2)
+
+
+def xapian_search(name: str = "search") -> ServiceDefinition:
+    """The Xapian-based search front service (high IPC per the paper)."""
+    return ServiceDefinition(
+        name=name, language="c++", kind=ServiceKind.LOGIC,
+        work_mean=300e-6, work_cv=0.5, freq_sensitivity=1.0,
+    ).with_traits(icache_footprint_kb=48, kernel_share=0.1,
+                  library_share=0.2, memory_locality=0.9,
+                  branch_entropy=0.25)
+
+
+def search_index(name: str) -> ServiceDefinition:
+    """One search index shard behind the search service."""
+    return ServiceDefinition(
+        name=name, language="c++", kind=ServiceKind.LOGIC,
+        work_mean=900e-6, work_cv=0.6, freq_sensitivity=1.0,
+    ).with_traits(icache_footprint_kb=56, kernel_share=0.1,
+                  library_share=0.2, memory_locality=0.85,
+                  branch_entropy=0.25)
+
+
+def recommender(name: str = "recommender") -> ServiceDefinition:
+    """An ML recommender engine: memory-bound, very low IPC."""
+    return ServiceDefinition(
+        name=name, language="python", kind=ServiceKind.ML,
+        work_mean=2500e-6, work_cv=0.4, freq_sensitivity=0.95,
+    ).with_traits(icache_footprint_kb=64, kernel_share=0.08,
+                  library_share=0.5, memory_locality=0.08,
+                  branch_entropy=0.3)
+
+
+def node_frontend(name: str = "frontend") -> ServiceDefinition:
+    """A node.js front-end (E-commerce, Banking)."""
+    return ServiceDefinition(
+        name=name, language="node.js", kind=ServiceKind.FRONTEND,
+        work_mean=220e-6, work_cv=0.5, freq_sensitivity=0.9,
+    ).with_traits(icache_footprint_kb=150, kernel_share=0.35,
+                  library_share=0.35)

@@ -1,0 +1,91 @@
+"""Microservice definitions.
+
+A :class:`ServiceDefinition` is the static description of one tier: how
+much CPU a request costs, how variable that cost is, how the cost reacts
+to frequency scaling, and its microarchitectural traits (for the
+Fig. 10/11/14 models).  Compute costs are calibrated in *seconds of CPU
+on the nominal Xeon core*; the runtime converts to wall time through the
+hosting platform/frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..arch.core_model import LANGUAGE_TRAITS, ArchTraits
+
+__all__ = ["ServiceDefinition", "ServiceKind"]
+
+
+class ServiceKind:
+    """Service roles; drives defaults and reporting groups."""
+
+    FRONTEND = "frontend"
+    LOGIC = "logic"
+    CACHE = "cache"
+    DATABASE = "database"
+    QUEUE = "queue"
+    ML = "ml"
+    EDGE = "edge"
+
+    ALL = (FRONTEND, LOGIC, CACHE, DATABASE, QUEUE, ML, EDGE)
+
+
+@dataclass(frozen=True)
+class ServiceDefinition:
+    """Static description of one microservice tier.
+
+    Parameters
+    ----------
+    work_mean:
+        Mean CPU demand per request in nominal-Xeon seconds.
+    work_cv:
+        Coefficient of variation of the (lognormal) CPU demand.
+    freq_sensitivity:
+        Fraction of service time that scales with core frequency
+        (1 = compute-bound, ~0.1 = I/O-bound like MongoDB).
+    traits:
+        Microarchitectural traits; defaults derive from ``language``.
+    """
+
+    name: str
+    language: str = "c++"
+    kind: str = ServiceKind.LOGIC
+    work_mean: float = 100e-6
+    work_cv: float = 0.5
+    freq_sensitivity: float = 0.9
+    traits: Optional[ArchTraits] = field(default=None)
+    #: Max concurrent in-flight requests per replica (worker threads /
+    #: HTTP1-era process pool); ``None`` means unbounded.  A finite pool
+    #: is what lets a slow downstream tier backpressure this one
+    #: (Fig. 17 case B).
+    max_workers: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("service name must be non-empty")
+        if self.kind not in ServiceKind.ALL:
+            raise ValueError(f"unknown service kind {self.kind!r}")
+        if self.work_mean < 0:
+            raise ValueError("work_mean must be >= 0")
+        if self.work_cv < 0:
+            raise ValueError("work_cv must be >= 0")
+        if not 0.0 <= self.freq_sensitivity <= 1.0:
+            raise ValueError("freq_sensitivity must be in [0,1]")
+        if self.language not in LANGUAGE_TRAITS:
+            raise ValueError(f"unknown language {self.language!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 when set")
+        if self.traits is None:
+            object.__setattr__(self, "traits", LANGUAGE_TRAITS[self.language])
+
+    def with_traits(self, **changes) -> "ServiceDefinition":
+        """Copy with selected :class:`ArchTraits` fields overridden."""
+        return replace(self, traits=replace(self.traits, **changes))
+
+    def scaled(self, factor: float) -> "ServiceDefinition":
+        """Copy with ``work_mean`` multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return replace(self, work_mean=self.work_mean * factor)

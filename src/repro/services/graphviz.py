@@ -1,0 +1,78 @@
+"""Graphviz DOT export of application dependency graphs.
+
+Renders an :class:`~repro.services.app.Application` the way the paper's
+Figs. 4-8 draw them: one node per microservice (shaped/colored by
+kind), one edge per caller→callee dependency observed across all
+operations, with edge labels listing the operations that exercise the
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+from .app import Application
+from .calltree import CallNode
+from .definition import ServiceKind
+
+__all__ = ["to_dot", "dependency_edges"]
+
+_KIND_STYLE = {
+    ServiceKind.FRONTEND: ("box", "lightblue"),
+    ServiceKind.LOGIC: ("ellipse", "white"),
+    ServiceKind.CACHE: ("cylinder", "khaki"),
+    ServiceKind.DATABASE: ("cylinder", "lightsalmon"),
+    ServiceKind.QUEUE: ("cds", "plum"),
+    ServiceKind.ML: ("octagon", "palegreen"),
+    ServiceKind.EDGE: ("component", "lightgrey"),
+}
+
+
+def dependency_edges(app: Application) -> Dict[Tuple[str, str], Set[str]]:
+    """(caller, callee) → set of operation names using that edge."""
+    edges: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+
+    def walk(node: CallNode, op_name: str) -> None:
+        for group in node.groups:
+            for child in group:
+                edges[(node.service, child.service)].add(op_name)
+                walk(child, op_name)
+
+    for op in app.operations.values():
+        edges[("client", op.root.service)].add(op.name)
+        walk(op.root, op.name)
+    return edges
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def to_dot(app: Application, include_client: bool = True,
+           label_edges: bool = False) -> str:
+    """Render the dependency graph in Graphviz DOT format."""
+    lines = [
+        f"digraph {_quote(app.name)} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+        f"  label={_quote(app.name + ' (' + app.protocol.upper() + ')')};",
+    ]
+    if include_client:
+        lines.append('  "client" [shape=plaintext];')
+    for name, svc in sorted(app.services.items()):
+        shape, color = _KIND_STYLE[svc.kind]
+        zone = app.zone_of(name)
+        peripheries = 2 if zone == "edge" else 1
+        lines.append(
+            f"  {_quote(name)} [shape={shape}, style=filled, "
+            f"fillcolor={color}, peripheries={peripheries}];")
+    for (src, dst), ops in sorted(dependency_edges(app).items()):
+        if src == "client" and not include_client:
+            continue
+        attrs = ""
+        if label_edges:
+            attrs = f' [label={_quote(",".join(sorted(ops)))}, fontsize=8]'
+        lines.append(f"  {_quote(src)} -> {_quote(dst)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Monolith builder.
+
+Sections 4, 6, and 8 compare each microservices app against a monolith
+"with the same end-to-end functionality from the user's perspective":
+one Java binary containing all application logic, still talking to the
+external backend databases (memcached / MongoDB stay separate even for
+the monolith — Sec. 4 and Fig. 22c are explicit about this).
+
+:func:`monolithify` mechanically derives that counterpart from any
+:class:`~repro.services.app.Application`: per operation, all logic-tier
+work collapses into a single node on the ``monolith`` service (slightly
+discounted, since in-process calls replace RPC serialization), while
+calls to cache/database/queue tiers are preserved in their original
+sequential/parallel structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .app import Application, Operation, Protocol
+from .calltree import CallNode
+from .definition import ServiceDefinition, ServiceKind
+
+__all__ = ["monolithify", "MONOLITH_SERVICE_NAME"]
+
+MONOLITH_SERVICE_NAME = "monolith"
+
+#: In-process function calls replace RPC marshalling: the collapsed
+#: logic work is mildly cheaper than the sum of the microservice parts.
+_MONOLITH_EFFICIENCY = 0.9
+
+
+def _monolith_service() -> ServiceDefinition:
+    """The single large binary: big i-cache footprint, Java."""
+    return ServiceDefinition(
+        name=MONOLITH_SERVICE_NAME, language="java",
+        kind=ServiceKind.LOGIC, work_mean=1.0, work_cv=0.5,
+        freq_sensitivity=0.9,
+    ).with_traits(icache_footprint_kb=600, kernel_share=0.25,
+                  library_share=0.3, memory_locality=0.5,
+                  branch_entropy=0.5)
+
+
+def _collect_backend_groups(app: Application,
+                            node: CallNode) -> List[List[CallNode]]:
+    """Preorder-flatten the datastore calls of a tree, keeping each
+    original parallel group as a group."""
+    backends = set(app.datastore_services())
+    groups: List[List[CallNode]] = []
+    for group in node.groups:
+        kept = [CallNode(service=child.service,
+                         work_scale=child.work_scale,
+                         request_kb=child.request_kb,
+                         response_kb=child.response_kb,
+                         pre_fraction=child.pre_fraction)
+                for child in group if child.service in backends]
+        if kept:
+            groups.append(kept)
+        for child in group:
+            groups.extend(_collect_backend_groups(app, child))
+    return groups
+
+
+def _logic_work(app: Application, root: CallNode) -> float:
+    """Total CPU demand of the non-datastore portion of a tree."""
+    backends = set(app.datastore_services())
+    return sum(app.services[node.service].work_mean * node.work_scale
+               for node in root.walk() if node.service not in backends)
+
+
+def monolithify(app: Application,
+                name: Optional[str] = None) -> Application:
+    """Derive the monolithic counterpart of ``app``."""
+    services = {MONOLITH_SERVICE_NAME: _monolith_service()}
+    for backend in app.datastore_services():
+        services[backend] = app.services[backend]
+
+    operations = {}
+    for op_name, op in app.operations.items():
+        work = _logic_work(app, op.root) * _MONOLITH_EFFICIENCY
+        root = CallNode(
+            service=MONOLITH_SERVICE_NAME,
+            work_scale=work,  # monolith work_mean is 1.0 s by construction
+            request_kb=op.root.request_kb,
+            response_kb=op.root.response_kb,
+            groups=_collect_backend_groups(app, op.root),
+        )
+        operations[op_name] = Operation(name=op_name, root=root,
+                                        weight=op.weight)
+
+    return Application(
+        name=name or f"{app.name}-monolith",
+        services=services,
+        operations=operations,
+        protocol=Protocol.HTTP,  # clients talk plain HTTP to the binary
+        qos_latency=app.qos_latency,
+        entry_service=MONOLITH_SERVICE_NAME,
+        sharded_services=[s for s in app.sharded_services
+                          if s in services],
+        metadata={**app.metadata, "monolith_of": app.name},
+    )

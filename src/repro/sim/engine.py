@@ -1,0 +1,404 @@
+"""Discrete-event simulation engine.
+
+A small, fast, generator-based DES core in the style of SimPy, written
+from scratch for this project.  Simulation *processes* are Python
+generators that ``yield`` :class:`Event` objects; the environment resumes
+a process when the event it waits on is triggered.
+
+Design notes
+------------
+* Events carry an ``ok`` flag; failed events raise their exception inside
+  the waiting process, so simulation code can use ordinary ``try/except``.
+* Scheduled entries can be cancelled in O(1) (a tombstone flag); the heap
+  lazily discards them.  This is what makes the processor-sharing server
+  (see :mod:`repro.sim.ps`) affordable.
+* Time is a ``float`` in **seconds**.  All latency outputs across the
+  library are seconds unless a function says otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party supplies a ``cause`` which the interrupted
+    process can inspect, e.g. to distinguish preemption from cancellation.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value (or
+    an exception), and is *processed* once its callbacks have run.
+    Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's
+    return value when the generator finishes, or fails with the
+    generator's uncaught exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick.callbacks.append(lambda ev: self._step_throw(Interrupt(cause)))
+        kick.succeed()
+
+    # -- internals -------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step_send(event._value)
+        else:
+            self._step_throw(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._terminate(exc)
+            return
+        self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self._terminate(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._step_throw(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target._processed:
+            # Already done: resume immediately (next scheduler step).
+            kick = Event(self.env)
+            kick.callbacks.append(lambda ev: self._resume(target))
+            kick.succeed()
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def _terminate(self, exc: BaseException) -> None:
+        if not self.callbacks:
+            # Nobody is waiting on this process: surface the crash.
+            self.env._crash = exc
+        self.fail(exc)
+
+
+class _MultiEvent(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev._processed:
+                self._notify(ev)
+            else:
+                ev.callbacks.append(self._notify)
+                self._pending += 1
+        self._check_immediate()
+
+    def _check_immediate(self) -> None:
+        raise NotImplementedError
+
+    def _notify(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {i: ev._value for i, ev in enumerate(self.events) if ev._triggered}
+
+
+class AllOf(_MultiEvent):
+    """Triggers when all constituent events have triggered.
+
+    Its value is ``{index: value}`` for every constituent.  Fails as soon
+    as any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _check_immediate(self) -> None:
+        if not self._triggered and all(ev._triggered for ev in self.events):
+            if all(ev._ok for ev in self.events):
+                self.succeed(self._collect())
+
+    def _notify(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        if all(ev._triggered and ev._ok for ev in self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_MultiEvent):
+    """Triggers as soon as any constituent event triggers."""
+
+    __slots__ = ()
+
+    def _check_immediate(self) -> None:
+        for ev in self.events:
+            if ev._triggered:
+                if ev._ok:
+                    if not self._triggered:
+                        self.succeed(self._collect())
+                else:
+                    if not self._triggered:
+                        self.fail(ev._value)
+                return
+
+    def _notify(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok:
+            self.succeed(self._collect())
+        else:
+            self.fail(event._value)
+
+
+class _HeapEntry:
+    __slots__ = ("time", "seq", "event", "cancelled")
+
+    def __init__(self, time: float, seq: int, event: Event):
+        self.time = time
+        self.seq = seq
+        self.event = event
+        self.cancelled = False
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Environment:
+    """The simulation environment: clock plus event scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now: float = initial_time
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._crash: Optional[BaseException] = None
+
+    # -- factory helpers -------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when every event in ``events`` has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when the first event in ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> _HeapEntry:
+        entry = _HeapEntry(self.now + delay, self._seq, event)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def schedule_callback(self, delay: float,
+                          callback: Callable[[Event], None]) -> Event:
+        """Schedule ``callback(event)`` to run ``delay`` seconds from now."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(callback)
+        return ev
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        while True:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                break
+        self.now = entry.time
+        event = entry.event
+        callbacks, event.callbacks = event.callbacks, None
+        event._triggered = True
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if self._crash is not None:
+            crash, self._crash = self._crash, None
+            raise crash
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue empties or the clock reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        while True:
+            next_time = self.peek()
+            if next_time == float("inf"):
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)

@@ -1,0 +1,210 @@
+"""Shared-resource primitives for the DES engine.
+
+Three classic primitives, modeled after queueing-theory building blocks:
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO wait
+  queue (an M/G/c service station when driven by random arrivals).
+* :class:`Container` — a homogeneous quantity (tokens, bytes) with
+  blocking ``get``/``put``.
+* :class:`Store` — a FIFO buffer of distinct items (used for message
+  queues such as the e-commerce ``orderQueue``).
+
+All primitives return events; processes ``yield`` them.  ``Resource``
+requests are context managers so handlers can write::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(service_time)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        """Return the claimed unit (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently claimed."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self.queue)
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous busy fraction, in ``[0, 1]``."""
+        return len(self.users) / self.capacity
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event triggers when granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def _release(self, req: Request) -> None:
+        if req in self.users:
+            self.users.remove(req)
+        else:
+            # Released while still queued: withdraw the claim.
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            if nxt._released:
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity in place (used by the autoscaler); admits
+        queued requests immediately if capacity grew."""
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            if nxt._released:
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking ``get``/``put``."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise SimulationError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.level = init
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``, blocking until available."""
+        if amount < 0:
+            raise SimulationError("get amount must be >= 0")
+        ev = Event(self.env)
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``, blocking until it fits under capacity."""
+        if amount < 0:
+            raise SimulationError("put amount must be >= 0")
+        ev = Event(self.env)
+        self._putters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    ev.succeed(amount)
+                    progress = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    ev.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of items."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; blocks while the store is full."""
+        ev = Event(self.env)
+        self._putters.append((item, ev))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest item; blocks while the store is empty."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                item, ev = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(item)
+                progress = True
+            if self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progress = True

@@ -1,0 +1,103 @@
+"""Text dashboards: render an experiment result at a glance.
+
+ASCII sparklines and aligned panels summarizing an
+:class:`~repro.core.experiment.ExperimentResult`: end-to-end latency
+over time, per-tier utilization, the busiest and slowest tiers.  Used
+by the CLI and handy at the REPL.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .tables import format_table
+
+__all__ = ["sparkline", "render_dashboard"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    NaNs render as spaces; the series is resampled to ``width`` points
+    by bucket-averaging."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    vals = list(values)
+    if not vals:
+        return ""
+    # Resample.
+    if len(vals) > width:
+        bucket = len(vals) / width
+        resampled = []
+        for i in range(width):
+            window = [v for v in vals[int(i * bucket):
+                                      int((i + 1) * bucket) or None]
+                      if not math.isnan(v)]
+            resampled.append(sum(window) / len(window) if window
+                             else float("nan"))
+        vals = resampled
+    finite = [v for v in vals if not math.isnan(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+
+    def tick(v: float) -> str:
+        if math.isnan(v):
+            return " "
+        if span <= 0:
+            return _TICKS[0]
+        idx = int((v - lo) / span * (len(_TICKS) - 1))
+        return _TICKS[idx]
+
+    return "".join(tick(v) for v in vals)
+
+
+def render_dashboard(result, bucket: float = None, top: int = 8) -> str:
+    """A text dashboard for one experiment result."""
+    duration = result.duration
+    bucket = bucket or max(duration / 30.0, 0.5)
+    lines: List[str] = []
+    app = result.deployment.app
+    lines.append(f"=== {app.name}: {duration:.0f}s, "
+                 f"{result.collector.total_collected} requests ===")
+
+    # Headline numbers.
+    lines.append(format_table(["metric", "value"], [
+        ["throughput (req/s)", f"{result.throughput():.1f}"],
+        ["mean latency (ms)", f"{result.mean_latency() * 1e3:.2f}"],
+        ["p95 (ms)", f"{result.tail(0.95) * 1e3:.2f}"],
+        ["p99 (ms)", f"{result.tail(0.99) * 1e3:.2f}"],
+        ["QoS met", str(result.qos_met())],
+        ["completion ratio", f"{result.completion_ratio():.3f}"],
+    ]))
+
+    # Latency-over-time sparkline.
+    series = result.collector.end_to_end.timeseries(bucket=bucket, p=0.95)
+    lines.append("")
+    lines.append("p95 over time: " + sparkline([v for _, v in series]))
+
+    # Per-tier panels: slowest spans and busiest CPUs.
+    tiers = []
+    for service in result.deployment.service_names():
+        recorder = result.collector.per_service.get(service)
+        if recorder is None or len(recorder.samples()) == 0:
+            continue
+        util_series = result.utilization.get(service)
+        util = (util_series.mean_in(result.warmup, duration)
+                if util_series and len(util_series) else float("nan"))
+        tiers.append((service, recorder.tail(0.95), util,
+                      sparkline([v for _, v in util_series.points])
+                      if util_series and len(util_series) else ""))
+    tiers.sort(key=lambda row: -row[1])
+    lines.append("")
+    lines.append(format_table(
+        ["tier", "span p95 (ms)", "mean util", "util over time"],
+        [[name, f"{tail * 1e3:.2f}",
+          f"{util:.2f}" if not math.isnan(util) else "-", spark]
+         for name, tail, util, spark in tiers[:top]],
+        title=f"slowest {min(top, len(tiers))} tiers"))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Plain-text rendering of paper-style tables and heat maps.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_heatmap", "format_series"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table; floats get 4 significant digits."""
+
+    def cell(x) -> str:
+        if isinstance(x, float):
+            if math.isnan(x):
+                return "nan"
+            return f"{x:.4g}"
+        return str(x)
+
+    rendered = [[cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_heatmap(row_labels: Sequence[str], col_labels: Sequence[str],
+                   values: Sequence[Sequence[float]], title: str = "",
+                   log_scale: bool = True,
+                   vmax: Optional[float] = None) -> str:
+    """Render a 2-D grid as ASCII shades (dark = low, bright = high).
+
+    Mirrors the paper's latency heat maps (Figs. 12, 19, 20, 22a): each
+    cell maps its value onto a 10-step shade ramp, optionally in log
+    space since latency inflation spans orders of magnitude.
+    """
+    grid: List[List[float]] = [list(map(float, row)) for row in values]
+    if len(grid) != len(row_labels):
+        raise ValueError("values rows != row_labels")
+    flat = [v for row in grid for v in row if not math.isnan(v)]
+    if not flat:
+        raise ValueError("heatmap has no finite values")
+    lo = min(flat)
+    hi = vmax if vmax is not None else max(flat)
+    if log_scale:
+        lo = math.log10(max(lo, 1e-12))
+        hi = math.log10(max(hi, 1e-12))
+
+    def shade(v: float) -> str:
+        if math.isnan(v):
+            return "?"
+        x = math.log10(max(v, 1e-12)) if log_scale else v
+        if hi <= lo:
+            return _SHADES[0]
+        frac = min(1.0, max(0.0, (x - lo) / (hi - lo)))
+        return _SHADES[min(len(_SHADES) - 1, int(frac * len(_SHADES)))]
+
+    label_w = max(len(s) for s in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in zip(row_labels, grid):
+        if len(row) != len(col_labels):
+            raise ValueError("values cols != col_labels")
+        lines.append(f"{label.rjust(label_w)} |{''.join(shade(v) for v in row)}|")
+    lines.append(f"{' ' * label_w}  {col_labels[0]} .. {col_labels[-1]}")
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_name: str = "x", y_name: str = "y") -> str:
+    """Render one line-plot series as aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    rows = list(zip(xs, ys))
+    return format_table([x_name, y_name], rows, title=name)

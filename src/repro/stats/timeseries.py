@@ -1,0 +1,113 @@
+"""Generic time-series recording (utilization, instance counts, ...)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["TimeSeries", "StepSeries"]
+
+
+class TimeSeries:
+    """A sequence of (time, value) samples with bucketed aggregation."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self._points and time < self._points[-1][0]:
+            raise ValueError(
+                f"time went backwards: {time} < {self._points[-1][0]}")
+        self._points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """All raw (time, value) samples."""
+        return list(self._points)
+
+    def last(self) -> float:
+        """Most recent value; raises if empty."""
+        if not self._points:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self._points[-1][1]
+
+    def mean_in(self, start: float, end: float) -> float:
+        """Mean of samples with start <= t < end (nan if none)."""
+        window = [v for t, v in self._points if start <= t < end]
+        if not window:
+            return float("nan")
+        return sum(window) / len(window)
+
+    def max_in(self, start: float, end: float) -> float:
+        """Max of samples with start <= t < end (nan if none)."""
+        window = [v for t, v in self._points if start <= t < end]
+        if not window:
+            return float("nan")
+        return max(window)
+
+    def bucketed(self, bucket: float, start: float = 0.0,
+                 end: Optional[float] = None,
+                 agg: str = "mean") -> List[Tuple[float, float]]:
+        """Aggregate into fixed-width buckets with ``mean`` or ``max``."""
+        if bucket <= 0:
+            raise ValueError("bucket must be > 0")
+        if not self._points:
+            return []
+        stop = end if end is not None else self._points[-1][0] + bucket
+        fn = {"mean": self.mean_in, "max": self.max_in}[agg]
+        out = []
+        t = start
+        while t < stop:
+            out.append((t, fn(t, t + bucket)))
+            t += bucket
+        return out
+
+
+class StepSeries:
+    """A piecewise-constant series (e.g. instance counts over time).
+
+    ``value_at(t)`` returns the value set by the latest step at or before
+    ``t``; ``integral`` computes time-weighted totals (for billing).
+    """
+
+    def __init__(self, initial: float = 0.0, start: float = 0.0):
+        self._steps: List[Tuple[float, float]] = [(start, initial)]
+
+    def set(self, time: float, value: float) -> None:
+        """Step to ``value`` at ``time`` (times must be non-decreasing)."""
+        if time < self._steps[-1][0]:
+            raise ValueError("time went backwards")
+        self._steps.append((time, value))
+
+    @property
+    def steps(self) -> List[Tuple[float, float]]:
+        """All (time, value) step points."""
+        return list(self._steps)
+
+    def value_at(self, time: float) -> float:
+        """Value in effect at ``time``."""
+        value = self._steps[0][1]
+        for t, v in self._steps:
+            if t <= time:
+                value = v
+            else:
+                break
+        return value
+
+    def integral(self, start: float, end: float) -> float:
+        """∫ value dt over [start, end] — e.g. instance-hours."""
+        if end < start:
+            raise ValueError("end < start")
+        total = 0.0
+        times = [t for t, _ in self._steps] + [math.inf]
+        for i, (t, v) in enumerate(self._steps):
+            seg_start = max(t, start)
+            seg_end = min(times[i + 1], end)
+            if seg_end > seg_start:
+                total += v * (seg_end - seg_start)
+        return total

@@ -1,0 +1,24 @@
+"""Distributed tracing substrate (Sec. 3.7 of the paper)."""
+
+from .analysis import (
+    critical_path_services,
+    network_share,
+    per_service_breakdown,
+    per_service_exclusive,
+)
+from .collector import TraceCollector
+from .export import span_records, traces_from_json, traces_to_json
+from .span import Span, Trace
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "span_records",
+    "traces_from_json",
+    "traces_to_json",
+    "critical_path_services",
+    "network_share",
+    "per_service_breakdown",
+    "per_service_exclusive",
+]

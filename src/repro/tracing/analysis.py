@@ -1,0 +1,101 @@
+"""Trace analysis: latency attribution across tiers and categories.
+
+These functions regenerate the paper's attribution results: network vs.
+application processing (Figs. 3, 15), per-tier latency contributions at
+low vs. high load (Sec. 7), and critical-path statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+import numpy as np
+
+from .span import Trace
+
+__all__ = [
+    "network_share",
+    "per_service_breakdown",
+    "per_service_exclusive",
+    "critical_path_services",
+]
+
+
+def network_share(traces: Iterable[Trace]) -> float:
+    """Fraction of total execution time spent on network processing.
+
+    Sums each span's network vs. application wall time over all tiers —
+    the quantity behind Fig. 3's "36.3 % of total execution time" for
+    the Social Network vs. 5-20 % for single-tier monoliths."""
+    net = 0.0
+    app = 0.0
+    for trace in traces:
+        for span in trace.root.walk():
+            net += span.net_time
+            app += span.app_time
+    total = net + app
+    if total <= 0:
+        raise ValueError("traces carry no timing information")
+    return net / total
+
+
+def per_service_breakdown(traces: Iterable[Trace]) -> Dict[str, dict]:
+    """Per-tier mean application/network/blocked time (Fig. 15a).
+
+    Returns service -> {app, net, block, count, span_p99}."""
+    acc: Dict[str, dict] = defaultdict(
+        lambda: {"app": 0.0, "net": 0.0, "net_process": 0.0,
+                 "block": 0.0, "count": 0, "durations": []})
+    for trace in traces:
+        for span in trace.root.walk():
+            slot = acc[span.service]
+            slot["app"] += span.app_time
+            slot["net"] += span.net_time
+            slot["net_process"] += span.net_process_time
+            slot["block"] += span.block_time
+            slot["count"] += 1
+            slot["durations"].append(span.duration)
+    out: Dict[str, dict] = {}
+    for service, slot in acc.items():
+        n = slot["count"]
+        durations = np.asarray(slot["durations"])
+        out[service] = {
+            "app": slot["app"] / n,
+            "net": slot["net"] / n,
+            "net_process": slot["net_process"] / n,
+            "block": slot["block"] / n,
+            "count": n,
+            "span_p99": float(np.quantile(durations, 0.99)),
+        }
+    return out
+
+
+def per_service_exclusive(traces: Iterable[Trace]) -> Dict[str, float]:
+    """Service -> mean exclusive latency contribution per request.
+
+    Exclusive time removes downstream waiting, so the values identify
+    which tier is *itself* responsible for end-to-end latency (the
+    Sec. 7 imbalance analysis)."""
+    totals: Dict[str, float] = defaultdict(float)
+    count = 0
+    for trace in traces:
+        count += 1
+        for span in trace.root.walk():
+            totals[span.service] += span.exclusive_time()
+    if count == 0:
+        raise ValueError("no traces")
+    return {service: total / count for service, total in totals.items()}
+
+
+def critical_path_services(traces: Iterable[Trace]) -> Dict[str, float]:
+    """Service -> fraction of traces whose critical path includes it."""
+    hits: Dict[str, int] = defaultdict(int)
+    count = 0
+    for trace in traces:
+        count += 1
+        for service in {span.service for span in trace.critical_path()}:
+            hits[service] += 1
+    if count == 0:
+        raise ValueError("no traces")
+    return {service: n / count for service, n in hits.items()}

@@ -1,0 +1,66 @@
+"""The centralized trace collector.
+
+Plays the role of the paper's Zipkin-like Trace Collector backed by
+Cassandra: every finished end-to-end request deposits its trace here;
+per-service latency recorders are maintained incrementally so the
+cluster-management experiments can read per-tier tail latency over time
+without re-walking every trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..stats.percentiles import LatencyRecorder
+from .span import Trace
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Accumulates traces and per-service/per-operation statistics."""
+
+    def __init__(self, keep_traces: int = 200_000, warmup: float = 0.0):
+        if keep_traces < 0:
+            raise ValueError("keep_traces must be >= 0")
+        self.keep_traces = keep_traces
+        self.warmup = warmup
+        self.traces: List[Trace] = []
+        self.total_collected = 0
+        self.end_to_end = LatencyRecorder(warmup=warmup)
+        self.per_service: Dict[str, LatencyRecorder] = defaultdict(
+            lambda: LatencyRecorder(warmup=warmup))
+        self.per_operation: Dict[str, LatencyRecorder] = defaultdict(
+            lambda: LatencyRecorder(warmup=warmup))
+
+    def collect(self, trace: Trace) -> None:
+        """Record one finished end-to-end request."""
+        self.total_collected += 1
+        if len(self.traces) < self.keep_traces:
+            self.traces.append(trace)
+        finish = trace.root.end
+        self.end_to_end.record(finish, trace.latency)
+        self.per_operation[trace.operation].record(finish, trace.latency)
+        for span in trace.root.walk():
+            self.per_service[span.service].record(span.end, span.duration)
+
+    def service_tail(self, service: str, p: float = 0.99,
+                     start: Optional[float] = None,
+                     end: Optional[float] = None) -> float:
+        """Tail latency of one tier over a time window."""
+        return self.per_service[service].tail(p, start, end)
+
+    def tail(self, p: float = 0.99, start: Optional[float] = None,
+             end: Optional[float] = None) -> float:
+        """End-to-end tail latency over a time window."""
+        return self.end_to_end.tail(p, start, end)
+
+    def throughput(self, start: Optional[float] = None,
+                   end: Optional[float] = None) -> float:
+        """Completed end-to-end requests per second."""
+        return self.end_to_end.throughput(start, end)
+
+    def services(self) -> List[str]:
+        """All services seen so far."""
+        return list(self.per_service.keys())

@@ -1,0 +1,103 @@
+"""Zipkin-style JSON export/import of traces.
+
+The paper's tracing system stores spans in a central Cassandra database
+for offline analysis; the equivalent here is a portable JSON format so
+traces from one run can be archived, diffed between configurations, or
+analyzed with external tooling.  The schema follows Zipkin v2 loosely:
+one record per span, microsecond timestamps, parent references by id.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .span import Span, Trace
+
+__all__ = ["traces_to_json", "traces_from_json", "span_records"]
+
+
+def span_records(trace: Trace, trace_id: int) -> List[dict]:
+    """Flatten one trace into Zipkin-style span records."""
+    records = []
+    counter = [0]
+
+    def visit(span: Span, parent_id: str) -> None:
+        span_id = f"{trace_id:08x}.{counter[0]:04x}"
+        counter[0] += 1
+        records.append({
+            "traceId": f"{trace_id:08x}",
+            "id": span_id,
+            "parentId": parent_id or None,
+            "name": span.operation,
+            "localEndpoint": {"serviceName": span.service},
+            "timestamp": round(span.start * 1e6),
+            "duration": round(span.duration * 1e6),
+            "tags": {
+                "app_us": round(span.app_time * 1e6),
+                "net_us": round(span.net_time * 1e6),
+                "net_process_us": round(span.net_process_time * 1e6),
+                "block_us": round(span.block_time * 1e6),
+                "user": trace.user,
+            },
+        })
+        for child in span.children:
+            visit(child, span_id)
+
+    visit(trace.root, "")
+    return records
+
+
+def traces_to_json(traces: Iterable[Trace], indent: int = None) -> str:
+    """Serialize traces to a Zipkin-style JSON array."""
+    records = []
+    for i, trace in enumerate(traces):
+        records.extend(span_records(trace, i))
+    return json.dumps(records, indent=indent)
+
+
+def _build_span(record: dict) -> Span:
+    tags = record.get("tags", {})
+    start = record["timestamp"] / 1e6
+    return Span(
+        service=record["localEndpoint"]["serviceName"],
+        operation=record["name"],
+        start=start,
+        end=start + record["duration"] / 1e6,
+        app_time=tags.get("app_us", 0) / 1e6,
+        net_time=tags.get("net_us", 0) / 1e6,
+        net_process_time=tags.get("net_process_us", 0) / 1e6,
+        block_time=tags.get("block_us", 0) / 1e6,
+    )
+
+
+def traces_from_json(payload: str) -> List[Trace]:
+    """Rebuild traces from :func:`traces_to_json` output."""
+    records = json.loads(payload)
+    spans: Dict[str, Span] = {}
+    children: Dict[str, List[str]] = {}
+    roots: Dict[str, str] = {}
+    users: Dict[str, object] = {}
+    order: List[str] = []
+    for record in records:
+        span = _build_span(record)
+        spans[record["id"]] = span
+        parent = record.get("parentId")
+        if parent:
+            children.setdefault(parent, []).append(record["id"])
+        else:
+            trace_id = record["traceId"]
+            roots[trace_id] = record["id"]
+            users[trace_id] = record.get("tags", {}).get("user")
+            order.append(trace_id)
+
+    def attach(span_id: str) -> Span:
+        span = spans[span_id]
+        span.children = [attach(c) for c in children.get(span_id, [])]
+        return span
+
+    return [
+        Trace(operation=spans[roots[tid]].operation,
+              root=attach(roots[tid]), user=users[tid])
+        for tid in order
+    ]

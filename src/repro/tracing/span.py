@@ -1,0 +1,108 @@
+"""Spans and traces.
+
+The paper's methodology hinges on a Dapper/Zipkin-style tracing system
+(Sec. 3.7): every RPC is timestamped on arrival and departure at each
+microservice, spans are stitched into an end-to-end trace, and the time
+spent on network processing is tracked separately from application
+computation.  This module is the exact simulation analogue: the runtime
+produces one :class:`Span` per RPC, nested into a tree rooted at the
+entry tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+__all__ = ["Span", "Trace"]
+
+
+@dataclass
+class Span:
+    """One RPC's server-side record."""
+
+    service: str
+    operation: str
+    start: float
+    end: float = 0.0
+    #: Wall time this tier spent on application compute.
+    app_time: float = 0.0
+    #: Wall time on network processing (TCP kernel work, NIC, wire) for
+    #: this tier's request and response messages.
+    net_time: float = 0.0
+    #: The processing-only part of ``net_time``: host TCP CPU time (or
+    #: FPGA offload latency), excluding wire propagation and NIC
+    #: serialization.  This is what the Fig. 16 accelerator removes.
+    net_process_time: float = 0.0
+    #: Wall time queued for a worker slot / blocked on a connection.
+    block_time: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Total wall time of the RPC (request arrival to response)."""
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def exclusive_time(self) -> float:
+        """Duration not attributable to downstream RPCs.
+
+        Children issued in parallel overlap, so we subtract the union of
+        child intervals rather than the sum of child durations."""
+        if not self.children:
+            return self.duration
+        intervals = sorted((c.start, c.end) for c in self.children)
+        covered = 0.0
+        cur_start, cur_end = intervals[0]
+        for s, e in intervals[1:]:
+            if s > cur_end:
+                covered += cur_end - cur_start
+                cur_start, cur_end = s, e
+            else:
+                cur_end = max(cur_end, e)
+        covered += cur_end - cur_start
+        return max(0.0, self.duration - covered)
+
+
+@dataclass
+class Trace:
+    """One end-to-end request: an operation name plus its span tree."""
+
+    operation: str
+    root: Span
+    user: Optional[int] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.root.duration
+
+    @property
+    def start(self) -> float:
+        return self.root.start
+
+    def spans(self) -> List[Span]:
+        """All spans, preorder."""
+        return list(self.root.walk())
+
+    def services(self) -> List[str]:
+        """All services touched, preorder with repeats."""
+        return [span.service for span in self.root.walk()]
+
+    def critical_path(self) -> List[Span]:
+        """The chain of spans bounding end-to-end latency.
+
+        Follows, at each node, the child whose completion is latest —
+        the path an engineer would chase when debugging tail latency."""
+        path = []
+        span = self.root
+        while True:
+            path.append(span)
+            if not span.children:
+                return path
+            span = max(span.children, key=lambda c: c.end)

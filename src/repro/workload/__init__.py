@@ -1,0 +1,21 @@
+"""Workload substrate: open-loop generators, patterns, user skew."""
+
+from .closed_loop import ClosedLoopGenerator
+from .generator import OpenLoopGenerator
+from .patterns import constant, diurnal, ramp, step, trace_replay
+from .sessions import SOCIAL_BEHAVIOR, BehaviorGraph, SessionSynthesizer
+from .users import UserPopulation
+
+__all__ = [
+    "ClosedLoopGenerator",
+    "OpenLoopGenerator",
+    "BehaviorGraph",
+    "SOCIAL_BEHAVIOR",
+    "SessionSynthesizer",
+    "UserPopulation",
+    "constant",
+    "diurnal",
+    "ramp",
+    "step",
+    "trace_replay",
+]

@@ -1,0 +1,85 @@
+"""Closed-loop workload generation.
+
+The complement of :class:`~repro.workload.generator.OpenLoopGenerator`:
+a fixed population of clients that each issue a request, wait for the
+response, think for a while, and repeat.  Closed loops self-throttle
+under saturation (offered load falls as latency rises), which is why
+the paper insists on *open-loop* load for saturation studies — this
+class exists both as a realistic interactive-user model and to
+demonstrate that methodological point (see the tests: a closed loop
+hides the saturation cliff an open loop exposes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..core.deployment import Deployment
+from ..sim.rng import RandomStreams
+from ..workload.users import UserPopulation
+
+__all__ = ["ClosedLoopGenerator"]
+
+
+class ClosedLoopGenerator:
+    """``n_clients`` think-time clients driving one deployment."""
+
+    def __init__(self, deployment: Deployment, n_clients: int,
+                 think_time: float,
+                 mix: Optional[Mapping[str, float]] = None,
+                 users: Optional[UserPopulation] = None,
+                 seed: int = 1):
+        if n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if think_time < 0:
+            raise ValueError("think_time must be >= 0")
+        self.deployment = deployment
+        self.env = deployment.env
+        self.n_clients = n_clients
+        self.think_time = think_time
+        raw_mix = dict(mix) if mix is not None \
+            else deployment.app.default_mix()
+        total = sum(raw_mix.values())
+        if total <= 0:
+            raise ValueError("mix weights must sum to > 0")
+        self.mix: Dict[str, float] = {k: v / total
+                                      for k, v in raw_mix.items()}
+        for op in self.mix:
+            if op not in deployment.app.operations:
+                raise ValueError(f"unknown operation {op!r} in mix")
+        self.users = users
+        self.rng = RandomStreams(seed)
+        self.completed = 0
+        self._started = False
+
+    def start(self, duration: float) -> None:
+        """Launch all clients; each stops issuing after ``duration``."""
+        if self._started:
+            raise RuntimeError("generator already started")
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self._started = True
+        stop = self.env.now + duration
+        for client in range(self.n_clients):
+            self.env.process(self._client(client, stop),
+                             name=f"client-{client}")
+
+    def _next_operation(self) -> str:
+        ops = list(self.mix.keys())
+        weights = [self.mix[o] for o in ops]
+        return self.rng.choice_weighted("closed.mix", ops, weights)
+
+    def _client(self, client_id: int, stop: float):
+        # Stagger client start-up so the loop doesn't thunder.
+        yield self.env.timeout(
+            self.rng.uniform("closed.stagger", 0.0,
+                             max(self.think_time, 1e-3)))
+        while self.env.now < stop:
+            user = self.users.next_user() if self.users is not None \
+                else client_id
+            op = self._next_operation()
+            yield self.deployment.execute(op, user=user)
+            self.completed += 1
+            if self.think_time > 0:
+                yield self.env.timeout(self.rng.exponential(
+                    "closed.think", self.think_time))

@@ -1,0 +1,92 @@
+"""Load patterns: request arrival-rate functions of time.
+
+The paper drives services with open-loop generators at constant rates
+(throughput sweeps), replays real diurnal user traffic compressed in
+time (Fig. 21 bottom), and studies flash-crowd-like overloads.  A
+pattern is simply ``rate(t) -> requests/second``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["constant", "diurnal", "step", "ramp", "trace_replay"]
+
+RateFn = Callable[[float], float]
+
+
+def constant(qps: float) -> RateFn:
+    """A fixed arrival rate."""
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    return lambda t: qps
+
+
+def diurnal(base_qps: float, peak_qps: float, period: float,
+            peak_at: float = 0.5) -> RateFn:
+    """A sinusoidal day/night pattern compressed into ``period`` seconds.
+
+    Rate oscillates between ``base_qps`` and ``peak_qps``, peaking at
+    ``peak_at`` (fraction of the period)."""
+    if not 0 < base_qps <= peak_qps:
+        raise ValueError("need 0 < base_qps <= peak_qps")
+    if period <= 0:
+        raise ValueError("period must be > 0")
+    mid = (base_qps + peak_qps) / 2.0
+    amp = (peak_qps - base_qps) / 2.0
+
+    def rate(t: float) -> float:
+        phase = 2.0 * math.pi * (t / period - peak_at)
+        return mid + amp * math.cos(phase)
+
+    return rate
+
+
+def step(qps_before: float, qps_after: float, at: float) -> RateFn:
+    """A step change at time ``at`` (load spike experiments)."""
+    if qps_before <= 0 or qps_after <= 0:
+        raise ValueError("rates must be > 0")
+
+    def rate(t: float) -> float:
+        return qps_after if t >= at else qps_before
+
+    return rate
+
+
+def ramp(qps_start: float, qps_end: float, duration: float) -> RateFn:
+    """Linear ramp from start to end over ``duration``, then flat."""
+    if qps_start <= 0 or qps_end <= 0 or duration <= 0:
+        raise ValueError("rates and duration must be > 0")
+
+    def rate(t: float) -> float:
+        if t >= duration:
+            return qps_end
+        return qps_start + (qps_end - qps_start) * (t / duration)
+
+    return rate
+
+
+def trace_replay(points: Sequence[Tuple[float, float]]) -> RateFn:
+    """Piecewise-linear replay of (time, qps) samples — used to replay
+    the Social Network's real user traffic trace."""
+    pts: List[Tuple[float, float]] = sorted(points)
+    if len(pts) < 2:
+        raise ValueError("need at least two trace points")
+    if any(q <= 0 for _, q in pts):
+        raise ValueError("trace rates must be > 0")
+
+    def rate(t: float) -> float:
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, q0), (t1, q1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return q1
+                frac = (t - t0) / (t1 - t0)
+                return q0 + (q1 - q0) * frac
+        return pts[-1][1]  # unreachable
+
+    return rate

@@ -1,0 +1,75 @@
+"""User populations with popularity skew.
+
+Section 8: "a small fraction of users, around 5%, being responsible for
+more than 30% of the requests", and Fig. 22b sweeps skew defined as
+``100 - u`` where ``u`` is the fraction of users initiating 90 % of
+total requests.  :class:`UserPopulation` draws request-originating users
+from a Zipf distribution and exposes both directions of that mapping:
+pick a Zipf exponent to hit a target skew, and measure the realized
+skew of a sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.rng import RandomStreams, ZipfSampler
+
+__all__ = ["UserPopulation"]
+
+
+class UserPopulation:
+    """A fixed set of users whose request rates follow a Zipf law."""
+
+    def __init__(self, n_users: int, zipf_s: float,
+                 rng: Optional[RandomStreams] = None,
+                 stream: str = "users"):
+        if n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        self.n_users = n_users
+        self.zipf_s = zipf_s
+        self._rng = rng or RandomStreams(0)
+        self._sampler: ZipfSampler = self._rng.zipf(stream, n_users, zipf_s)
+
+    def next_user(self) -> int:
+        """Draw the user originating the next request (0 = hottest)."""
+        return self._sampler.sample()
+
+    def skew_percent(self, mass: float = 0.9) -> float:
+        """The paper's skew metric: ``100 - u`` where ``u`` is the
+        percentage of users (hottest first) that generate ``mass`` of
+        the request volume.  0 means uniform load; 99 means one percent
+        of users generate 90 % of requests."""
+        if not 0 < mass < 1:
+            raise ValueError("mass must be in (0,1)")
+        cumulative = 0.0
+        for rank in range(self.n_users):
+            cumulative += self._sampler.probability(rank)
+            if cumulative >= mass:
+                u_percent = 100.0 * (rank + 1) / self.n_users
+                return 100.0 - u_percent
+        return 0.0
+
+    @classmethod
+    def with_skew(cls, n_users: int, skew_percent: float,
+                  rng: Optional[RandomStreams] = None,
+                  stream: str = "users") -> "UserPopulation":
+        """Build a population whose realized skew is close to the target.
+
+        Binary-searches the Zipf exponent; skew is monotone in it."""
+        if not 0.0 <= skew_percent < 100.0:
+            raise ValueError("skew_percent must be in [0, 100)")
+        lo, hi = 0.0, 8.0
+        best = cls(n_users, 0.0, rng=rng, stream=stream)
+        if skew_percent == 0.0:
+            return best
+        for _ in range(40):
+            mid = (lo + hi) / 2.0
+            candidate = cls(n_users, mid, rng=rng, stream=stream)
+            realized = candidate.skew_percent()
+            best = candidate
+            if realized < skew_percent:
+                lo = mid
+            else:
+                hi = mid
+        return best

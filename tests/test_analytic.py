@@ -1,0 +1,194 @@
+"""Tests for the analytic queueing backend."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import (
+    AnalyticModel,
+    analyze_station,
+    clark_max,
+    compute_demands,
+    erlang_c,
+    mgc_wait_time,
+    tail_from_moments,
+)
+from repro.apps import build_app
+from repro.arch import THUNDERX, XEON
+
+
+# -- Erlang / M/G/c ------------------------------------------------------
+
+def test_erlang_c_known_values():
+    # M/M/1 at rho=0.5: P(wait) = rho = 0.5.
+    assert erlang_c(1, 0.5) == pytest.approx(0.5)
+    # Zero load never waits; saturated always waits.
+    assert erlang_c(4, 0.0) == 0.0
+    assert erlang_c(2, 2.0) == 1.0
+
+
+def test_erlang_c_multi_server_waits_less():
+    # Same per-server load, more servers -> lower wait probability.
+    assert erlang_c(4, 2.0) < erlang_c(2, 1.0) < erlang_c(1, 0.5)
+
+
+def test_mm1_wait_matches_closed_form():
+    # M/M/1: Wq = rho/(mu - lambda) with cv=1.
+    lam, s = 0.5, 1.0
+    expected = (lam * s) * s / (1 - lam * s)
+    assert mgc_wait_time(lam, s, 1.0, 1) == pytest.approx(expected)
+
+
+def test_md1_half_of_mm1():
+    # Deterministic service halves the M/M/1 queueing delay.
+    mm1 = mgc_wait_time(0.5, 1.0, 1.0, 1)
+    md1 = mgc_wait_time(0.5, 1.0, 0.0, 1)
+    assert md1 == pytest.approx(mm1 / 2.0)
+
+
+def test_saturation_returns_inf():
+    assert math.isinf(mgc_wait_time(2.0, 1.0, 1.0, 1))
+    station = analyze_station(2.0, 1.0, 1.0, 1)
+    assert station.saturated
+    assert station.response_tail(0.99) == math.inf
+
+
+def test_station_light_load():
+    station = analyze_station(0.01, 1.0, 0.5, 8)
+    assert station.utilization == pytest.approx(0.00125)
+    assert station.response_mean == pytest.approx(1.0, rel=0.01)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rho=st.floats(min_value=0.05, max_value=0.9),
+       servers=st.integers(min_value=1, max_value=16))
+def test_property_wait_increases_with_load(rho, servers):
+    lam1 = rho * servers
+    lam2 = min(0.99 * servers, lam1 * 1.1)
+    w1 = mgc_wait_time(lam1, 1.0, 1.0, servers)
+    w2 = mgc_wait_time(lam2, 1.0, 1.0, servers)
+    assert w2 >= w1 - 1e-12
+
+
+def test_tail_from_moments_behaviour():
+    assert tail_from_moments(1.0, 0.0, 0.99) == 1.0
+    assert tail_from_moments(0.0, 0.0, 0.99) == 0.0
+    p99 = tail_from_moments(1.0, 1.0, 0.99)
+    p50 = tail_from_moments(1.0, 1.0, 0.50)
+    assert p99 > 1.0 > p50 > 0.0
+    with pytest.raises(ValueError):
+        tail_from_moments(1.0, 1.0, 1.5)
+
+
+# -- Clark max -------------------------------------------------------------
+
+def test_clark_max_degenerate():
+    mean, var = clark_max(3.0, 0.0, 1.0, 0.0)
+    assert mean == 3.0
+
+
+def test_clark_max_identical_gaussians():
+    # E[max of two N(0,1)] = 1/sqrt(pi).
+    mean, var = clark_max(0.0, 1.0, 0.0, 1.0)
+    assert mean == pytest.approx(1.0 / math.sqrt(math.pi), rel=1e-3)
+
+
+def test_clark_max_dominated():
+    mean, var = clark_max(100.0, 1.0, 0.0, 1.0)
+    assert mean == pytest.approx(100.0, rel=1e-6)
+
+
+# -- demands ------------------------------------------------------------
+
+def test_demands_cover_all_services():
+    app = build_app("social_network")
+    demands = compute_demands(app)
+    assert set(demands) == set(app.services)
+    assert all(d.visits > 0 for d in demands.values())
+
+
+def test_demand_net_work_positive_everywhere():
+    app = build_app("social_network")
+    demands = compute_demands(app)
+    for demand in demands.values():
+        assert demand.net_work > 0
+        assert demand.total_work >= demand.app_work
+
+
+def test_demands_respect_mix():
+    app = build_app("social_network")
+    read_only = compute_demands(app, mix={"readTimeline": 1.0})
+    assert read_only["composePost"].visits == 0.0
+    assert read_only["readTimeline"].visits == pytest.approx(1.0)
+
+
+# -- end-to-end model --------------------------------------------------------
+
+def test_tail_monotone_in_load():
+    app = build_app("social_network")
+    model = AnalyticModel(app, replicas=2, cores=4)
+    sat = model.saturation_qps()
+    tails = [model.tail(frac * sat) for frac in (0.1, 0.5, 0.85)]
+    assert tails[0] < tails[1] < tails[2]
+
+
+def test_saturation_qps_finite_and_consistent():
+    app = build_app("social_network")
+    model = AnalyticModel(app, replicas=1, cores=2)
+    sat = model.saturation_qps()
+    assert 0 < sat < 1e6
+    assert model.tail(sat * 1.01) == math.inf
+    assert model.tail(sat * 0.5) < math.inf
+
+
+def test_bottleneck_is_highest_utilization():
+    app = build_app("social_network")
+    model = AnalyticModel(app, replicas=1, cores=2)
+    utils = model.utilizations(model.saturation_qps() * 0.9)
+    assert utils[model.bottleneck(model.saturation_qps() * 0.9)] == \
+        pytest.approx(max(utils.values()))
+
+
+def test_max_qps_under_bound():
+    app = build_app("social_network")
+    model = AnalyticModel(app, replicas=2, cores=4)
+    qps = model.max_qps_under(app.qos_latency)
+    assert qps > 0
+    assert model.tail(qps) <= app.qos_latency * 1.05
+    # Slightly above the returned point the bound must fail (tight).
+    assert model.tail(qps * 1.2) > app.qos_latency or \
+        qps >= 0.95 * model.saturation_qps()
+
+
+def test_weaker_platform_lower_capacity():
+    app = build_app("social_network")
+    strong = AnalyticModel(app, replicas=2, cores=4, platform=XEON)
+    weak = AnalyticModel(app, replicas=2, cores=4, platform=THUNDERX)
+    assert weak.saturation_qps() < strong.saturation_qps()
+
+
+def test_lower_frequency_higher_latency():
+    app = build_app("social_network")
+    nominal = AnalyticModel(app, replicas=2, cores=4, freq_ghz=2.5)
+    capped = AnalyticModel(app, replicas=2, cores=4, freq_ghz=1.2)
+    assert capped.tail(50) > nominal.tail(50)
+    with pytest.raises(ValueError):
+        AnalyticModel(app, freq_ghz=9.0)
+
+
+def test_per_operation_moments():
+    app = build_app("social_network")
+    model = AnalyticModel(app, replicas=2, cores=4)
+    login_mean, _ = model.end_to_end_moments(50, operation="login")
+    repost_mean, _ = model.end_to_end_moments(50, operation="repost")
+    assert repost_mean > login_mean
+
+
+def test_more_replicas_never_hurt():
+    app = build_app("social_network")
+    small = AnalyticModel(app, replicas=1, cores=2)
+    big = AnalyticModel(app, replicas=4, cores=2)
+    q = small.saturation_qps() * 0.8
+    assert big.tail(q) <= small.tail(q)

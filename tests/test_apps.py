@@ -1,0 +1,139 @@
+"""Tests for the six end-to-end application definitions (Table 1)."""
+
+import pytest
+
+from repro.apps import app_names, build_app, build_monolith
+from repro.services import ServiceKind
+
+#: Paper Table 1 unique-microservice counts.
+PAPER_COUNTS = {
+    "social_network": 36,
+    "media_service": 38,
+    "ecommerce": 41,
+    "banking": 34,
+    "swarm_cloud": 25,
+    "swarm_edge": 21,
+}
+
+
+def test_suite_has_six_apps():
+    assert set(app_names()) == set(PAPER_COUNTS)
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_unique_microservice_counts_match_paper(name):
+    app = build_app(name)
+    assert app.unique_microservices == PAPER_COUNTS[name]
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_app_is_internally_consistent(name):
+    app = build_app(name)
+    app.validate()
+    mix = app.default_mix()
+    assert pytest.approx(sum(mix.values())) == 1.0
+    for op in app.operations.values():
+        assert op.root.call_count() >= 1
+        assert op.root.depth() >= 1
+    assert app.qos_latency > 0
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_every_service_reachable_from_some_operation(name):
+    """No dead services: each defined tier appears in some call tree."""
+    app = build_app(name)
+    used = set()
+    for op in app.operations.values():
+        used.update(op.root.services())
+    unused = set(app.services) - used
+    assert not unused, f"services never called: {sorted(unused)}"
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_monolith_counterpart_builds(name):
+    mono = build_monolith(name)
+    mono.validate()
+    # The monolith keeps only the backends plus one big binary.
+    backends = set(build_app(name).datastore_services())
+    assert set(mono.services) == backends | {"monolith"}
+
+
+def test_build_unknown_app_raises():
+    with pytest.raises(ValueError, match="unknown application"):
+        build_app("pets.com")
+
+
+def test_social_network_has_query_diversity():
+    """Sec. 3.8: composePost varies by media; repost is the longest."""
+    app = build_app("social_network")
+    work = {name: app.operation_work(name) for name in app.operations}
+    assert work["composePost-video"] > work["composePost-image"] > \
+        work["composePost-text"]
+    assert work["repost"] > work["composePost-text"]
+    assert work["repost"] > work["readTimeline"]
+
+
+def test_ecommerce_order_dominates_browsing():
+    """Sec. 3.8: placing an order takes 1-2 orders of magnitude longer
+    than browsing the catalogue.  On pure compute the gap is >2x; the
+    deep sequential chain (cart → login → shipping → payment → invoice
+    → queue) amplifies it much further in wall-clock latency, which the
+    Fig. 15/Table benches measure."""
+    app = build_app("ecommerce")
+    assert app.operation_work("placeOrder") > \
+        2.0 * app.operation_work("browseCatalogue")
+    order = app.operations["placeOrder"].root
+    browse = app.operations["browseCatalogue"].root
+    assert order.depth() > browse.depth()
+
+
+def test_banking_payments_dominate():
+    app = build_app("banking")
+    assert app.operation_work("processPayment") > \
+        app.operation_work("browseInfo")
+
+
+def test_swarm_edge_places_compute_on_drones():
+    edge = build_app("swarm_edge")
+    assert edge.zone_of("imageRecognition") == "edge"
+    assert edge.zone_of("obstacleAvoidance") == "edge"
+    cloud = build_app("swarm_cloud")
+    assert cloud.zone_of("imageRecognition") == "cloud"
+    assert cloud.zone_of("camera-image") == "edge"
+
+
+def test_swarm_edge_recognition_costlier_than_cloud():
+    """jimp on a drone does more nominal work than OpenCV in the cloud,
+    and runs on a far weaker core."""
+    edge = build_app("swarm_edge")
+    cloud = build_app("swarm_cloud")
+    assert edge.services["imageRecognition"].work_mean > \
+        cloud.services["imageRecognition"].work_mean
+
+
+@pytest.mark.parametrize("name", ["social_network", "media_service"])
+def test_rpc_apps_front_tier_is_nginx(name):
+    app = build_app(name)
+    assert app.entry_service == "nginx-lb"
+    for op in app.operations.values():
+        assert op.root.service in ("nginx-lb", "controller", "front-end",
+                                   "camera-image", "camera-video",
+                                   "location", "speed")
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_apps_have_backends(name):
+    app = build_app(name)
+    backends = app.datastore_services()
+    assert backends, "every app persists state somewhere"
+    kinds = {app.services[b].kind for b in backends}
+    assert kinds <= {ServiceKind.CACHE, ServiceKind.DATABASE,
+                     ServiceKind.QUEUE}
+
+
+def test_paper_metadata_present():
+    for name in app_names():
+        meta = build_app(name).metadata["paper_table1"]
+        assert meta["unique_microservices"] == PAPER_COUNTS[name]
+        assert meta["total_locs"] > 10000
+        assert abs(sum(meta["language_share"].values()) - 1.0) < 0.05

@@ -1,0 +1,147 @@
+"""Tests for the utilization autoscaler and provisioning."""
+
+import pytest
+
+from repro.analytic import AnalyticModel
+from repro.apps import build_app
+from repro.arch import XEON
+from repro.cluster import Cluster, UtilizationAutoscaler
+from repro.core import (
+    Deployment,
+    balanced_provision,
+    provision_iteratively,
+    run_experiment,
+)
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import memcached, nginx
+from repro.sim import Environment
+
+
+def two_tier():
+    """A two-tier app with a deliberately heavy front tier so that
+    saturation happens at a few hundred QPS (keeps the DES cheap)."""
+    web = nginx("web", work_mean=5e-3)
+    return Application(
+        name="two-tier",
+        services={"web": web, "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web",
+            groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.05)
+
+
+def test_autoscaler_scales_out_overloaded_tier():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    dep = Deployment(env, two_tier(), cluster,
+                     cores={"web": 1, "cache": 2}, seed=1)
+    scaler = UtilizationAutoscaler(env, dep, period=2.0,
+                                   scale_out_threshold=0.7,
+                                   startup_delay=3.0, cooldown=2.0)
+    scaler.start()
+    # web: 1 core at ~5ms/req -> saturates near 200 qps; drive at 320.
+    run_experiment(dep, 320, duration=40.0, seed=2)
+    assert len(dep.instances_of("web")) > 1
+    assert any(e.action == "scale_out" and e.service == "web"
+               for e in scaler.events)
+
+
+def test_autoscaler_scales_in_idle_tier():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    dep = Deployment(env, two_tier(), cluster,
+                     replicas={"web": 3, "cache": 1}, seed=3)
+    scaler = UtilizationAutoscaler(env, dep, period=2.0,
+                                   scale_in_threshold=0.2,
+                                   startup_delay=1.0, cooldown=2.0)
+    scaler.start()
+    run_experiment(dep, 50, duration=30.0, seed=4)
+    assert len(dep.instances_of("web")) < 3
+    assert any(e.action == "scale_in" for e in scaler.events)
+
+
+def test_autoscaler_records_instance_counts():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    dep = Deployment(env, two_tier(), cluster, cores={"web": 1}, seed=5)
+    scaler = UtilizationAutoscaler(env, dep, period=2.0,
+                                   startup_delay=2.0, cooldown=2.0)
+    scaler.start()
+    run_experiment(dep, 320, duration=30.0, seed=6)
+    series = scaler.instance_counts["web"]
+    assert series.value_at(0.0) == 1
+    assert series.value_at(30.0) >= 2
+
+
+def test_autoscaler_respects_max_instances():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    dep = Deployment(env, two_tier(), cluster, cores={"web": 1}, seed=7)
+    scaler = UtilizationAutoscaler(env, dep, period=1.0,
+                                   startup_delay=0.5, cooldown=0.0,
+                                   max_instances=2)
+    scaler.start()
+    run_experiment(dep, 800, duration=20.0, seed=8)
+    assert len(dep.instances_of("web")) <= 2
+
+
+def test_autoscaler_validation():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 2)
+    dep = Deployment(env, two_tier(), cluster)
+    with pytest.raises(ValueError):
+        UtilizationAutoscaler(env, dep, scale_out_threshold=0.1,
+                              scale_in_threshold=0.5)
+    with pytest.raises(ValueError):
+        UtilizationAutoscaler(env, dep, period=0.0)
+    scaler = UtilizationAutoscaler(env, dep)
+    scaler.start()
+    with pytest.raises(RuntimeError):
+        scaler.start()
+
+
+# -- provisioning ------------------------------------------------------------
+
+def test_balanced_provision_meets_utilization_target():
+    app = build_app("social_network")
+    replicas = balanced_provision(app, target_qps=500, target_util=0.6)
+    model = AnalyticModel(app, replicas=replicas, cores=2)
+    utils = model.utilizations(500)
+    assert max(utils.values()) <= 0.65
+
+
+def test_iterative_provision_agrees_with_closed_form():
+    """The paper's upsize loop and the closed form land within one
+    replica of each other on every tier."""
+    app = build_app("banking")
+    closed = balanced_provision(app, target_qps=300, target_util=0.6)
+    iterative = provision_iteratively(app, target_qps=300,
+                                      target_util=0.6)
+    for service in app.services:
+        assert abs(closed[service] - iterative[service]) <= 1
+
+
+def test_provision_scales_with_load():
+    app = build_app("ecommerce")
+    low = balanced_provision(app, target_qps=200)
+    high = balanced_provision(app, target_qps=8000)
+    assert sum(high.values()) > sum(low.values())
+    assert all(high[s] >= low[s] for s in app.services)
+
+
+def test_provision_ratio_varies_across_tiers():
+    """Sec. 3.8: 'the ratio of resources between tiers varies
+    significantly', i.e. balanced provisioning is not uniform."""
+    app = build_app("social_network")
+    replicas = balanced_provision(app, target_qps=30000, target_util=0.5)
+    assert max(replicas.values()) >= 3 * min(replicas.values())
+
+
+def test_provision_validation():
+    app = build_app("banking")
+    with pytest.raises(ValueError):
+        balanced_provision(app, target_qps=0)
+    with pytest.raises(ValueError):
+        balanced_provision(app, target_qps=10, target_util=1.5)
+    with pytest.raises(ValueError):
+        balanced_provision(app, target_qps=10, cores_per_replica=0)

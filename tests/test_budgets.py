@@ -1,0 +1,74 @@
+"""Tests for end-to-end latency budgeting."""
+
+import pytest
+
+from repro.analytic.budgets import (
+    TierBudget,
+    binding_constraints,
+    latency_budgets,
+)
+from repro.apps import build_app
+from repro.core import balanced_provision
+
+
+def budgets_for(qps=100, **kwargs):
+    app = build_app("social_network")
+    replicas = balanced_provision(app, target_qps=200, target_util=0.5)
+    return app, latency_budgets(app, qps, replicas=replicas, cores=2,
+                                **kwargs)
+
+
+def test_budgets_cover_every_service():
+    app, budgets = budgets_for()
+    assert {b.service for b in budgets} == set(app.services)
+
+
+def test_budgets_sum_to_target():
+    app, budgets = budgets_for()
+    assert sum(b.budget for b in budgets) == pytest.approx(
+        app.qos_latency)
+
+
+def test_budgets_sorted_tightest_first():
+    _, budgets = budgets_for()
+    slacks = [b.slack for b in budgets]
+    assert slacks == sorted(slacks)
+
+
+def test_heavy_tiers_get_bigger_budgets():
+    _, budgets = budgets_for()
+    by_name = {b.service: b for b in budgets}
+    # The front-end path is visited by every request; uniqueID is a
+    # tiny helper: the former earns a larger slice.
+    assert by_name["php-fpm"].budget > by_name["uniqueID"].budget
+
+
+def test_no_binding_constraints_when_target_is_generous():
+    app = build_app("social_network")
+    replicas = balanced_provision(app, target_qps=2000, target_util=0.3)
+    assert binding_constraints(app, 50, replicas=replicas, cores=4,
+                               qos_latency=0.2) == []
+
+
+def test_tight_qos_flags_constraints():
+    app = build_app("social_network")
+    violated = binding_constraints(app, 100, replicas=1, cores=2,
+                                   qos_latency=1e-4)
+    assert violated  # a 100us end-to-end target is impossible
+    # The flagged tier really has negative slack.
+    budgets = latency_budgets(app, 100, replicas=1, cores=2,
+                              qos_latency=1e-4)
+    flagged = {b.service for b in budgets if b.violated}
+    assert set(violated) == flagged
+
+
+def test_validation():
+    app = build_app("banking")
+    with pytest.raises(ValueError):
+        latency_budgets(app, 0.0)
+
+
+def test_tier_budget_violated_property():
+    b = TierBudget(service="s", visits=1.0, contribution=1e-3,
+                   budget=1e-3, p99_response=2e-3, slack=-1e-3)
+    assert b.violated

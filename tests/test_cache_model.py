@@ -1,0 +1,96 @@
+"""Tests for the Che-approximation LRU cache model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.cache import (
+    aggregate_hit_ratio,
+    cache_size_for_hit_ratio,
+    che_characteristic_time,
+    hit_ratios,
+    zipf_weights,
+)
+
+
+def test_zipf_weights_normalized_and_monotone():
+    weights = zipf_weights(100, 1.0)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(10, -1.0)
+
+
+def test_cache_bigger_than_keyspace_hits_everything():
+    weights = zipf_weights(50, 0.8)
+    assert math.isinf(che_characteristic_time(weights, 50))
+    assert hit_ratios(weights, 60) == [1.0] * 50
+    assert aggregate_hit_ratio(weights, 50) == pytest.approx(1.0)
+
+
+def test_uniform_popularity_hit_ratio_matches_size_fraction():
+    """Uniform keys in an LRU: hit ratio ~ cache/keys."""
+    weights = zipf_weights(1000, 0.0)
+    for frac in (0.1, 0.5, 0.9):
+        ratio = aggregate_hit_ratio(weights, int(1000 * frac))
+        assert ratio == pytest.approx(frac, abs=0.06)
+
+
+def test_skew_makes_small_caches_effective():
+    """With Zipf 1.0, a 10% cache captures far more than 10% of hits."""
+    skewed = aggregate_hit_ratio(zipf_weights(1000, 1.0), 100)
+    uniform = aggregate_hit_ratio(zipf_weights(1000, 0.0), 100)
+    assert skewed > 2.0 * uniform
+    assert skewed > 0.5
+
+
+def test_hot_keys_hit_more():
+    weights = zipf_weights(500, 1.2)
+    ratios = hit_ratios(weights, 50)
+    assert ratios[0] > 0.95
+    assert ratios[0] > ratios[100] > ratios[-1]
+
+
+def test_cache_size_for_hit_ratio_inverse():
+    weights = zipf_weights(2000, 0.9)
+    for target in (0.3, 0.6, 0.85):
+        size = cache_size_for_hit_ratio(weights, target)
+        assert aggregate_hit_ratio(weights, size) >= target
+        if size > 1:
+            assert aggregate_hit_ratio(weights, size - 1) < target
+    with pytest.raises(ValueError):
+        cache_size_for_hit_ratio(weights, 1.5)
+
+
+def test_che_validation():
+    with pytest.raises(ValueError):
+        che_characteristic_time([0.5, 0.5], 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=10, max_value=500),
+       s=st.floats(min_value=0.0, max_value=2.0),
+       frac=st.floats(min_value=0.05, max_value=0.95))
+def test_property_hit_ratio_in_bounds_and_monotone_in_size(n, s, frac):
+    weights = zipf_weights(n, s)
+    size = max(1, int(n * frac))
+    ratio = aggregate_hit_ratio(weights, size)
+    assert 0.0 <= ratio <= 1.0
+    if size + 1 < n:
+        assert aggregate_hit_ratio(weights, size + 1) >= ratio - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=20, max_value=300),
+       s=st.floats(min_value=0.2, max_value=1.5))
+def test_property_occupancy_equals_cache_size(n, s):
+    """Che's fixed point: sum of per-key occupancies equals the size."""
+    weights = zipf_weights(n, s)
+    size = n // 3
+    t = che_characteristic_time(weights, size)
+    occupancy = sum(1.0 - math.exp(-w * t) for w in weights)
+    assert occupancy == pytest.approx(size, rel=1e-4)

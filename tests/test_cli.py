@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "social_network" in out
+    assert "swarm_edge" in out
+
+
+def test_describe_command(capsys):
+    assert main(["describe", "banking"]) == 0
+    out = capsys.readouterr().out
+    assert "authentication" in out
+    assert "processPayment" in out
+    assert "34 services" in out
+
+
+def test_describe_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["describe", "petstore"])
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "banking", "--qps", "20",
+                 "--duration", "4", "--machines", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "p99" in out
+
+
+def test_provision_command(capsys):
+    assert main(["provision", "social_network", "--qps", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "replicas" in out
+    assert "nginx-web" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "banking", "--qps", "10", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "QoS met" in out
+
+
+def test_dot_command(capsys):
+    assert main(["dot", "ecommerce"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert '"front-end"' in out
+    assert "->" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,93 @@
+"""Tests for the closed-loop generator — and the open-vs-closed
+methodological point the paper leans on."""
+
+import pytest
+
+from repro.arch import XEON
+from repro.cluster import Cluster
+from repro.core import Deployment
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import memcached, nginx
+from repro.sim import Environment
+from repro.workload import ClosedLoopGenerator, OpenLoopGenerator, constant
+
+
+def two_tier():
+    return Application(
+        name="two-tier",
+        services={"web": nginx("web", work_mean=2e-3),
+                  "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.05)
+
+
+def deploy(seed=81):
+    env = Environment()
+    return Deployment(env, two_tier(),
+                      Cluster.homogeneous(env, XEON, 3),
+                      cores={"web": 1, "cache": 2}, seed=seed)
+
+
+def test_validation():
+    dep = deploy()
+    with pytest.raises(ValueError):
+        ClosedLoopGenerator(dep, n_clients=0, think_time=1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopGenerator(dep, n_clients=1, think_time=-1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopGenerator(dep, n_clients=1, think_time=1.0,
+                            mix={"teleport": 1.0})
+    gen = ClosedLoopGenerator(dep, n_clients=1, think_time=1.0)
+    with pytest.raises(ValueError):
+        gen.start(0.0)
+    gen.start(1.0)
+    with pytest.raises(RuntimeError):
+        gen.start(1.0)
+
+
+def test_throughput_matches_littles_law():
+    """n clients with think time Z and response R complete at about
+    n / (Z + R) per second."""
+    dep = deploy()
+    gen = ClosedLoopGenerator(dep, n_clients=20, think_time=0.1, seed=82)
+    gen.start(20.0)
+    dep.env.run(until=20.0)
+    observed = gen.completed / 20.0
+    response = dep.collector.end_to_end.mean()
+    expected = 20 / (0.1 + response)
+    assert observed == pytest.approx(expected, rel=0.15)
+
+
+def test_closed_loop_hides_saturation_open_loop_exposes_it():
+    """The methodological point (Sec. 3.7): drive a tier beyond its
+    capacity.  The open loop's latency explodes; the closed loop
+    self-throttles and reports bounded latency."""
+    # Capacity of web: 1 core / 2ms = ~500/s.
+    dep_open = deploy(seed=83)
+    open_gen = OpenLoopGenerator(dep_open, constant(800.0), seed=84)
+    open_gen.start(12.0)
+    dep_open.env.run(until=12.0)
+    open_tail = dep_open.collector.end_to_end.tail(0.95, start=6.0)
+
+    dep_closed = deploy(seed=83)
+    # 800 offered QPS worth of clients if latency stayed nominal.
+    closed_gen = ClosedLoopGenerator(dep_closed, n_clients=8,
+                                     think_time=0.01, seed=84)
+    closed_gen.start(12.0)
+    dep_closed.env.run(until=12.0)
+    closed_tail = dep_closed.collector.end_to_end.tail(0.95, start=6.0)
+
+    assert open_tail > 5 * closed_tail
+    # And the closed loop's completion rate settled near capacity.
+    assert closed_gen.completed / 12.0 < 600.0
+
+
+def test_clients_reuse_their_identity_as_user_key():
+    dep = deploy(seed=85)
+    gen = ClosedLoopGenerator(dep, n_clients=3, think_time=0.01, seed=86)
+    gen.start(2.0)
+    dep.env.run(until=2.0)
+    users = {t.user for t in dep.collector.traces}
+    assert users <= {0, 1, 2}
+    assert len(users) == 3

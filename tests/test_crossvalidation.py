@@ -1,0 +1,115 @@
+"""Cross-validation of the analytic backend against the simulator.
+
+Property-based: generate small random applications (random service
+times, random call-tree shapes), run both backends at a safe load, and
+check the analytic model's mean end-to-end latency brackets the
+simulated one.  This is the evidence that lets the wide parameter
+sweeps (Figs. 12, 13, 22b) run analytically.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import AnalyticModel
+from repro.arch import XEON
+from repro.cluster import Cluster
+from repro.core import Deployment, run_experiment
+from repro.services import Application, CallNode, Operation
+from repro.services.definition import ServiceDefinition, ServiceKind
+from repro.sim import Environment
+
+
+@st.composite
+def random_app(draw):
+    """A random 2-6 service app with a random sequential/parallel tree."""
+    n_services = draw(st.integers(min_value=2, max_value=6))
+    services = {}
+    for i in range(n_services):
+        work = draw(st.floats(min_value=20e-6, max_value=500e-6))
+        cv = draw(st.floats(min_value=0.1, max_value=1.0))
+        services[f"s{i}"] = ServiceDefinition(
+            name=f"s{i}", language="c++", kind=ServiceKind.LOGIC,
+            work_mean=work, work_cv=cv, freq_sensitivity=0.9)
+
+    def subtree(available, depth):
+        service = available[0]
+        rest = available[1:]
+        node = CallNode(service=service, request_kb=1.0, response_kb=1.0)
+        if rest and depth < 3:
+            parallel = draw(st.booleans())
+            split = draw(st.integers(min_value=1, max_value=len(rest)))
+            children = []
+            used = 0
+            while used < split:
+                take = draw(st.integers(min_value=1,
+                                        max_value=split - used))
+                children.append(subtree(rest[used:used + take],
+                                        depth + 1))
+                used += take
+            node.groups = [children] if parallel \
+                else [[c] for c in children]
+        return node
+
+    root = subtree(list(services.keys()), 0)
+    return Application(
+        name="random",
+        services=services,
+        operations={"op": Operation(name="op", root=root)},
+        qos_latency=1.0)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(app=random_app(), seed=st.integers(min_value=0, max_value=100))
+def test_property_analytic_brackets_simulation(app, seed):
+    """At rho ~ 0.3 the analytic mean is within 2x of the DES mean
+    (both include the same wire and protocol costs)."""
+    model = AnalyticModel(app, replicas=1, cores=2)
+    qps = 0.3 * model.saturation_qps()
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 2)
+    deployment = Deployment(env, app, cluster, seed=seed)
+    # Keep the comparison deterministic-ish and cheap.
+    deployment.fabric.jitter_cv = 0.0
+    deployment.fabric.congestion_coeff = 0.0
+    n_requests = 600
+    duration = n_requests / qps
+    result = run_experiment(deployment, qps, duration=duration,
+                            warmup=duration * 0.2, seed=seed + 1)
+    sim_mean = result.mean_latency()
+    ana_mean, _ = model.end_to_end_moments(qps)
+    assert ana_mean == pytest.approx(sim_mean, rel=1.0)
+    # And the analytic mean respects the zero-load floor.
+    floor, _ = model.end_to_end_moments(1e-9)
+    assert sim_mean > 0.5 * floor
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(app=random_app())
+def test_property_analytic_monotone_and_saturating(app):
+    """Analytic invariants on arbitrary apps: tails grow with load and
+    blow up past saturation."""
+    model = AnalyticModel(app, replicas=1, cores=2)
+    sat = model.saturation_qps()
+    t_low = model.tail(0.1 * sat)
+    t_mid = model.tail(0.6 * sat)
+    t_high = model.tail(0.9 * sat)
+    assert t_low <= t_mid <= t_high
+    assert model.tail(1.05 * sat) == float("inf")
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(app=random_app())
+def test_property_utilization_conservation(app):
+    """Analytic utilization equals lambda * S / servers on every tier."""
+    model = AnalyticModel(app, replicas=2, cores=2)
+    qps = 0.5 * model.saturation_qps()
+    for service, station in model.stations(qps).items():
+        demand = model.demands[service]
+        expected = (qps * demand.visits * model.service_time(service)
+                    / (2 * 2))
+        assert station.utilization == pytest.approx(min(1.0, expected))

@@ -1,0 +1,56 @@
+"""Tests for the text dashboard and sparklines."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.core import simulate
+from repro.stats import render_dashboard, sparkline
+
+
+def test_sparkline_basic():
+    out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert len(out) == 8
+    assert out[0] == "▁"
+    assert out[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_handles_nan():
+    out = sparkline([1.0, float("nan"), 3.0])
+    assert out[1] == " "
+    assert sparkline([float("nan")] * 4) == "    "
+
+
+def test_sparkline_resamples_long_series():
+    out = sparkline(list(range(1000)), width=20)
+    assert len(out) == 20
+    assert out == "".join(sorted(out))  # monotone series, monotone ticks
+
+
+def test_sparkline_empty_and_validation():
+    assert sparkline([]) == ""
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)
+
+
+def test_render_dashboard_sections():
+    result = simulate(build_app("banking"), qps=25, duration=5.0,
+                      n_machines=3, seed=91)
+    text = render_dashboard(result)
+    assert "banking" in text
+    assert "p95 over time:" in text
+    assert "slowest" in text
+    assert "throughput (req/s)" in text
+    # Front-end always appears among the slowest tiers (root span).
+    assert "front-end" in text
+
+
+def test_cli_dashboard_flag(capsys):
+    from repro.cli import main
+    assert main(["simulate", "banking", "--qps", "15", "--duration",
+                 "4", "--machines", "2", "--dashboard"]) == 0
+    out = capsys.readouterr().out
+    assert "p95 over time" in out

@@ -1,0 +1,85 @@
+"""Tests for the experiment harness (core.experiment, core.qos)."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.core import QoSTarget, simulate
+from repro.workload import diurnal
+
+
+def small_run(**kwargs):
+    app = build_app("banking")
+    defaults = dict(qps=30, duration=6.0, n_machines=3, seed=31)
+    defaults.update(kwargs)
+    return simulate(app, **defaults)
+
+
+def test_result_basic_metrics():
+    result = small_run()
+    assert result.throughput() > 0
+    assert 0 < result.mean_latency() < result.tail(0.99)
+    assert 0.9 < result.completion_ratio() <= 1.0
+
+
+def test_result_warmup_defaults_to_20_percent():
+    result = small_run()
+    assert result.warmup == pytest.approx(0.2 * 6.0)
+
+
+def test_result_service_tail():
+    result = small_run()
+    assert result.service_tail("front-end") > 0
+
+
+def test_goodput_zero_when_qos_violated():
+    result = small_run()
+    assert result.goodput(qos_latency=1e-6) == 0.0
+    assert result.goodput(qos_latency=10.0) > 0.0
+
+
+def test_qos_met_uses_app_target():
+    result = small_run()
+    assert result.qos_met() == (result.tail(0.99) <=
+                                result.deployment.app.qos_latency)
+
+
+def test_simulate_accepts_pattern_function():
+    pattern = diurnal(base_qps=10, peak_qps=50, period=6.0)
+    result = small_run(qps=pattern)
+    assert result.collector.total_collected > 50
+
+
+def test_simulate_with_frequency_cap_slower():
+    fast = small_run(seed=33)
+    slow = small_run(seed=33, freq_ghz=1.2)
+    assert slow.mean_latency() > fast.mean_latency()
+
+
+def test_utilization_series_present_for_all_services():
+    result = small_run()
+    app = build_app("banking")
+    assert set(result.utilization) == set(app.services)
+    for series in result.utilization.values():
+        assert len(series) > 0
+
+
+# -- QoSTarget -----------------------------------------------------------
+
+def test_qos_target_validation():
+    with pytest.raises(ValueError):
+        QoSTarget(latency=0.0)
+    with pytest.raises(ValueError):
+        QoSTarget(latency=0.1, percentile=1.0)
+
+
+def test_qos_target_met_and_violation_factor():
+    target = QoSTarget(latency=1.0, percentile=0.5)
+    assert target.met([0.5, 0.6, 0.7])
+    assert not target.met([2.0, 3.0, 4.0])
+    assert target.violation_factor([2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_qos_target_goodput():
+    target = QoSTarget(latency=1.0, percentile=0.5)
+    assert target.goodput([0.5], throughput=100.0) == 100.0
+    assert target.goodput([5.0], throughput=100.0) == 0.0

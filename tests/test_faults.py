@@ -1,0 +1,88 @@
+"""Tests for machine-outage fault injection."""
+
+import pytest
+
+from repro.arch import XEON
+from repro.cluster import Cluster
+from repro.cluster.faults import MachineOutage
+from repro.core import Deployment, run_experiment
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import memcached, nginx
+from repro.sim import Environment
+
+
+def two_tier():
+    return Application(
+        name="two-tier",
+        services={"web": nginx("web", work_mean=1e-3),
+                  "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.05)
+
+
+def build(replicas_web=3):
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    deployment = Deployment(env, two_tier(), cluster,
+                            replicas={"web": replicas_web, "cache": 1},
+                            cores={"web": 1, "cache": 2}, seed=61)
+    return env, cluster, deployment
+
+
+def test_fail_drains_replicated_tier():
+    env, cluster, deployment = build()
+    victim = deployment.instances_of("web")[0].machine
+    outage = MachineOutage(env, deployment, victim)
+    outage.fail()
+    lb = deployment.load_balancer("web")
+    assert all(inst.machine is not victim for inst in lb.instances)
+    assert not outage.frozen or victim.instances
+    outage.repair()
+    assert len(lb.instances) == 3
+
+
+def test_singleton_tier_freezes_machine():
+    env, cluster, deployment = build()
+    victim = deployment.instances_of("cache")[0].machine
+    outage = MachineOutage(env, deployment, victim)
+    outage.fail()
+    assert outage.frozen
+    assert victim.slow_factor < 0.1
+    outage.repair()
+    assert victim.slow_factor == 1.0
+
+
+def test_double_fail_rejected():
+    env, cluster, deployment = build()
+    outage = MachineOutage(env, deployment, cluster.machines[0])
+    outage.fail()
+    with pytest.raises(RuntimeError):
+        outage.fail()
+    outage.repair()
+    with pytest.raises(RuntimeError):
+        outage.repair()
+
+
+def test_scheduled_outage_degrades_then_recovers():
+    env, cluster, deployment = build()
+    victim = deployment.instances_of("web")[0].machine
+    outage = MachineOutage(env, deployment, victim)
+    outage.schedule(fail_at=10.0, repair_after=15.0)
+    result = run_experiment(deployment, 600, duration=40.0, warmup=2.0,
+                            seed=62)
+    # During the outage, 2/3 of web capacity remains: latency rises.
+    during = result.collector.end_to_end.mean(start=12.0, end=24.0)
+    before = result.collector.end_to_end.mean(start=2.0, end=10.0)
+    after = result.collector.end_to_end.mean(start=30.0, end=40.0)
+    assert during > before
+    assert after < during
+    assert len(deployment.load_balancer("web").instances) == 3
+
+
+def test_schedule_past_rejected():
+    env, cluster, deployment = build()
+    env.run(until=5.0)
+    outage = MachineOutage(env, deployment, cluster.machines[0])
+    with pytest.raises(ValueError):
+        outage.schedule(fail_at=1.0)

@@ -1,0 +1,58 @@
+"""Tests for the DOT dependency-graph export."""
+
+from repro.apps import build_app
+from repro.services import dependency_edges, to_dot
+from repro.services.app import Application, Operation
+from repro.services.calltree import CallNode, seq
+from repro.services.datastores import memcached, nginx
+
+
+def tiny_app():
+    return Application(
+        name="tiny",
+        services={"web": nginx("web"), "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.01)
+
+
+def test_dependency_edges_include_client_and_internal():
+    edges = dependency_edges(tiny_app())
+    assert ("client", "web") in edges
+    assert ("web", "cache") in edges
+    assert edges[("web", "cache")] == {"get"}
+
+
+def test_to_dot_structure():
+    dot = to_dot(tiny_app())
+    assert dot.startswith('digraph "tiny"')
+    assert '"web" -> "cache";' in dot
+    assert '"client" -> "web";' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_to_dot_without_client():
+    dot = to_dot(tiny_app(), include_client=False)
+    assert '"client"' not in dot
+
+
+def test_to_dot_edge_labels():
+    dot = to_dot(tiny_app(), label_edges=True)
+    assert 'label="get"' in dot
+
+
+def test_full_app_graph_covers_every_service():
+    app = build_app("social_network")
+    dot = to_dot(app)
+    for service in app.services:
+        assert f'"{service}"' in dot
+    # Edge-pinned services are drawn with double peripheries.
+    edge_dot = to_dot(build_app("swarm_edge"))
+    assert "peripheries=2" in edge_dot
+
+
+def test_every_suite_app_exports_valid_braces():
+    from repro.apps import app_names
+    for name in app_names():
+        dot = to_dot(build_app(name))
+        assert dot.count("{") == dot.count("}") == 1

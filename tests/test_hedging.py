@@ -1,0 +1,75 @@
+"""Tests for hedged requests (the classic tail-at-scale mitigation)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import XEON
+from repro.cluster import Cluster
+from repro.core import Deployment
+from repro.services import Application, CallNode, Operation
+from repro.services.definition import ServiceDefinition, ServiceKind
+from repro.sim import Environment
+from repro.workload import OpenLoopGenerator, constant
+
+
+def spiky_app():
+    """A single tier with a heavy-tailed service time, where hedging
+    pays off: most requests are fast, a few are very slow."""
+    svc = ServiceDefinition(name="svc", language="c++",
+                            kind=ServiceKind.LOGIC,
+                            work_mean=1e-3, work_cv=3.0)
+    return Application(
+        name="spiky",
+        services={"svc": svc},
+        operations={"op": Operation(name="op", root=CallNode(
+            service="svc"))},
+        qos_latency=0.1)
+
+
+def run(hedge_after, seed=71, qps=50, duration=30.0):
+    env = Environment()
+    deployment = Deployment(env, spiky_app(),
+                            Cluster.homogeneous(env, XEON, 4),
+                            replicas={"svc": 4}, seed=seed)
+    gen = OpenLoopGenerator(deployment, constant(qps), seed=seed + 1,
+                            hedge_after=hedge_after)
+    gen.start(duration)
+    env.run(until=duration)
+    return gen, deployment
+
+
+def test_hedging_validation():
+    env = Environment()
+    deployment = Deployment(env, spiky_app(),
+                            Cluster.homogeneous(env, XEON, 2))
+    with pytest.raises(ValueError):
+        OpenLoopGenerator(deployment, constant(10.0), hedge_after=0.0)
+
+
+def test_hedged_latencies_recorded():
+    gen, _ = run(hedge_after=5e-3)
+    assert len(gen.hedged_latencies) > 1000
+    assert gen.hedges_issued > 0
+    assert gen.hedge_wins <= gen.hedges_issued
+
+
+def test_hedging_cuts_the_tail():
+    hedged, _ = run(hedge_after=4e-3)
+    plain, _ = run(hedge_after=1e6)  # hedge never fires
+    tail_hedged = float(np.quantile(
+        [v for _, v in hedged.hedged_latencies], 0.99))
+    tail_plain = float(np.quantile(
+        [v for _, v in plain.hedged_latencies], 0.99))
+    assert tail_hedged < tail_plain
+    # ...without inflating the median.
+    med_hedged = float(np.quantile(
+        [v for _, v in hedged.hedged_latencies], 0.5))
+    med_plain = float(np.quantile(
+        [v for _, v in plain.hedged_latencies], 0.5))
+    assert med_hedged == pytest.approx(med_plain, rel=0.3)
+
+
+def test_hedge_overhead_is_bounded():
+    """With a tail-level trigger, only a small share of requests hedge."""
+    gen, _ = run(hedge_after=8e-3)
+    assert gen.hedges_issued < 0.2 * gen.issued

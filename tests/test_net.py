@@ -1,0 +1,197 @@
+"""Tests for protocol costs, the network fabric, and FPGA offload."""
+
+import pytest
+
+from repro.arch import XEON
+from repro.cluster import Machine, ServiceInstance
+from repro.net import (
+    DEFAULT_ZONE_LATENCY,
+    FpgaOffload,
+    HTTP_COSTS,
+    IPC_COSTS,
+    NetworkFabric,
+    RPC_COSTS,
+    costs_for,
+)
+from repro.services.datastores import nginx
+from repro.sim import Environment
+
+
+def make_pair(env, zone_a="cloud", zone_b="cloud"):
+    m1 = Machine(env, "m1", XEON, zone=zone_a)
+    m2 = Machine(env, "m2", XEON, zone=zone_b)
+    a = ServiceInstance(env, nginx("a"), m1, cores=2)
+    b = ServiceInstance(env, nginx("b"), m2, cores=2)
+    return a, b
+
+
+def run_transfer(fabric, src, dst, size_kb, costs):
+    env = fabric.env
+    out = {}
+
+    def proc():
+        timing = yield from fabric.transfer(src, dst, size_kb, costs)
+        out["timing"] = timing
+
+    env.process(proc())
+    env.run()
+    return out["timing"]
+
+
+# -- protocol costs --------------------------------------------------------
+
+def test_rpc_cheaper_than_http():
+    """Sec. 7: RPCs introduce considerably lower latency than HTTP."""
+    for size in (0.5, 2.0, 16.0):
+        assert RPC_COSTS.send_cost(size) < HTTP_COSTS.send_cost(size)
+        assert RPC_COSTS.recv_cost(size) < HTTP_COSTS.recv_cost(size)
+    assert IPC_COSTS.send_cost(1.0) < RPC_COSTS.send_cost(1.0)
+
+
+def test_http_connections_blocking():
+    assert HTTP_COSTS.blocking_connections
+    assert not RPC_COSTS.blocking_connections
+
+
+def test_costs_for_lookup():
+    assert costs_for("rpc") is RPC_COSTS
+    assert costs_for("http") is HTTP_COSTS
+    with pytest.raises(ValueError):
+        costs_for("smoke-signals")
+
+
+def test_costs_scale_with_size():
+    assert RPC_COSTS.send_cost(100.0) > RPC_COSTS.send_cost(1.0)
+
+
+# -- fabric ----------------------------------------------------------------
+
+def test_transfer_includes_wire_and_cpu():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    a, b = make_pair(env)
+    timing = run_transfer(fabric, a, b, 1.0, RPC_COSTS)
+    assert timing.wire == DEFAULT_ZONE_LATENCY[("cloud", "cloud")]
+    assert timing.cpu_send > 0
+    assert timing.cpu_recv > 0
+    assert timing.total >= timing.wire + timing.cpu_send + timing.cpu_recv
+
+
+def test_transfer_consumes_host_cpu_on_both_sides():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    a, b = make_pair(env)
+    run_transfer(fabric, a, b, 4.0, RPC_COSTS)
+    assert a.net_cpu_seconds > 0
+    assert b.net_cpu_seconds > 0
+    assert a.app_cpu_seconds == 0
+
+
+def test_same_machine_uses_ipc_and_skips_wire():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    machine = Machine(env, "m", XEON)
+    a = ServiceInstance(env, nginx("a"), machine, cores=2)
+    b = ServiceInstance(env, nginx("b"), machine, cores=2)
+    timing = run_transfer(fabric, a, b, 1.0, HTTP_COSTS)
+    assert timing.wire == 0.0
+    assert timing.nic == 0.0
+    # IPC costs, not HTTP costs, despite the HTTP protocol.
+    assert timing.host_cpu_work == pytest.approx(
+        IPC_COSTS.send_cost(1.0) + IPC_COSTS.recv_cost(1.0))
+
+
+def test_edge_cloud_latency_much_higher():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    a, b = make_pair(env, zone_a="edge", zone_b="cloud")
+    timing = run_transfer(fabric, a, b, 1.0, HTTP_COSTS)
+    assert timing.wire == DEFAULT_ZONE_LATENCY[("edge", "cloud")]
+    assert timing.wire > 100 * DEFAULT_ZONE_LATENCY[("cloud", "cloud")]
+
+
+def test_external_client_transfer():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    _, b = make_pair(env)
+    timing = run_transfer(fabric, None, b, 1.0, RPC_COSTS)
+    assert timing.cpu_send == 0.0
+    assert timing.cpu_recv > 0
+    assert timing.wire == DEFAULT_ZONE_LATENCY[("client", "cloud")]
+
+
+def test_large_payload_pays_nic_serialization():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0)
+    a, b = make_pair(env)
+    small = run_transfer(NetworkFabric(env, jitter_cv=0.0), a, b, 1.0,
+                         RPC_COSTS)
+    big = run_transfer(NetworkFabric(env, jitter_cv=0.0), a, b, 2048.0,
+                       RPC_COSTS)
+    assert big.nic > small.nic
+    # 2 MB over 10 GbE through two NICs ~ 3.3 ms of serialization.
+    assert big.nic == pytest.approx(2 * 2048.0 / 1.25e6, rel=0.01)
+
+
+def test_unknown_zone_pair_raises():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0, zone_latency={})
+    a, b = make_pair(env)
+    with pytest.raises(ValueError):
+        run_transfer(fabric, a, b, 1.0, RPC_COSTS)
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    fabric = NetworkFabric(env)
+    a, b = make_pair(env)
+    with pytest.raises(ValueError):
+        run_transfer(fabric, a, b, -1.0, RPC_COSTS)
+
+
+# -- FPGA offload ------------------------------------------------------------
+
+def test_fpga_speedup_within_paper_band():
+    """Fig. 16: network processing accelerates 10-68x."""
+    fpga = FpgaOffload()
+    assert fpga.speedup(0.0) == pytest.approx(10.0)
+    assert fpga.speedup(64.0) == pytest.approx(68.0)
+    assert fpga.speedup(1e9) == pytest.approx(68.0)
+    assert 10.0 <= fpga.speedup(8.0) <= 68.0
+
+
+def test_fpga_offload_removes_host_cpu_work():
+    env = Environment()
+    fabric = NetworkFabric(env, jitter_cv=0.0, fpga=FpgaOffload())
+    a, b = make_pair(env)
+    timing = run_transfer(fabric, a, b, 1.0, RPC_COSTS)
+    assert timing.host_cpu_work == 0.0
+    assert a.net_cpu_seconds == 0.0
+    assert timing.offload > 0
+
+
+def test_fpga_faster_than_native():
+    env1 = Environment()
+    native = NetworkFabric(env1, jitter_cv=0.0)
+    a1, b1 = make_pair(env1)
+    t_native = run_transfer(native, a1, b1, 1.0, RPC_COSTS)
+
+    env2 = Environment()
+    offloaded = NetworkFabric(env2, jitter_cv=0.0, fpga=FpgaOffload())
+    a2, b2 = make_pair(env2)
+    t_fpga = run_transfer(offloaded, a2, b2, 1.0, RPC_COSTS)
+    # Processing is 10x+ faster; wire latency is untouched.
+    native_proc = t_native.cpu_send + t_native.cpu_recv
+    assert t_fpga.offload < native_proc / 9.0
+    assert t_fpga.wire == t_native.wire
+
+
+def test_fpga_validation():
+    with pytest.raises(ValueError):
+        FpgaOffload(min_speedup=0.5)
+    with pytest.raises(ValueError):
+        FpgaOffload(min_speedup=70, max_speedup=60)
+    with pytest.raises(ValueError):
+        FpgaOffload(saturation_kb=0)
+    with pytest.raises(ValueError):
+        FpgaOffload().offload_latency(-1.0, 1.0)

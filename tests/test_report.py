@@ -1,0 +1,26 @@
+"""Tests for markdown experiment reports."""
+
+from repro.apps import build_app
+from repro.core import render_report, simulate
+
+
+def test_render_report_sections():
+    result = simulate(build_app("banking"), qps=20, duration=4.0,
+                      n_machines=3, seed=101)
+    report = render_report(result)
+    assert report.startswith("# banking experiment report")
+    assert "## Summary" in report
+    assert "## Where the latency goes" in report
+    assert "## Placement" in report
+    assert "Network processing share" in report
+    # Markdown tables render.
+    assert report.count("|---") >= 3
+    # The front-end tier appears in the attribution table.
+    assert "front-end" in report
+
+
+def test_render_report_custom_title():
+    result = simulate(build_app("banking"), qps=15, duration=3.0,
+                      n_machines=2, seed=102)
+    report = render_report(result, title="My run")
+    assert report.startswith("# My run experiment report")

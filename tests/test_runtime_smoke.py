@@ -1,0 +1,149 @@
+"""Integration smoke tests: a tiny two-tier app end to end."""
+
+import pytest
+
+from repro.analytic import AnalyticModel
+from repro.cluster import Cluster
+from repro.core import Deployment, run_experiment, simulate
+from repro.arch import XEON
+from repro.services import Application, CallNode, Operation, par, seq
+from repro.services.datastores import memcached, nginx
+from repro.sim import Environment
+
+
+def two_tier_app(qos=0.01):
+    """nginx front-end fanning out to one memcached read."""
+    services = {
+        "nginx": nginx(),
+        "cache": memcached("cache"),
+    }
+    root = CallNode(service="nginx", groups=seq(
+        CallNode(service="cache", request_kb=0.2, response_kb=1.0)))
+    return Application(
+        name="two-tier",
+        services=services,
+        operations={"read": Operation(name="read", root=root)},
+        qos_latency=qos,
+    )
+
+
+def test_simulate_two_tier_records_latencies():
+    result = simulate(two_tier_app(), qps=200, duration=10.0,
+                      n_machines=2, seed=3)
+    assert result.collector.total_collected > 1000
+    # Latency must exceed the bare compute+wire floor (~150us) and stay
+    # sane at this light load.
+    assert 150e-6 < result.mean_latency() < 5e-3
+    assert result.tail(0.99) >= result.mean_latency()
+    assert result.completion_ratio() > 0.95
+
+
+def test_trace_structure_matches_call_tree():
+    result = simulate(two_tier_app(), qps=50, duration=5.0,
+                      n_machines=2, seed=4)
+    trace = result.collector.traces[0]
+    assert trace.root.service == "nginx"
+    assert [c.service for c in trace.root.children] == ["cache"]
+    # Child span is strictly inside the parent.
+    child = trace.root.children[0]
+    assert trace.root.start <= child.start <= child.end <= trace.root.end
+    assert trace.latency > 0
+
+
+def test_span_times_accounted():
+    result = simulate(two_tier_app(), qps=50, duration=5.0,
+                      n_machines=2, seed=5)
+    for trace in result.collector.traces[:50]:
+        for span in trace.root.walk():
+            # app + net + blocked can't exceed the span's wall time
+            # (children overlap is extra, not less).
+            assert span.app_time >= 0
+            assert span.net_time >= 0
+            total_own = span.app_time + span.net_time + span.block_time
+            assert total_own <= span.duration + 1e-9
+
+
+def test_latency_grows_with_load():
+    low = simulate(two_tier_app(), qps=100, duration=10.0,
+                   n_machines=2, seed=6)
+    # nginx: 2 cores x ~1/80us -> ~25k/s per instance; drive near edge
+    # by restricting cores.
+    high = simulate(two_tier_app(), qps=4000, duration=10.0,
+                    n_machines=2, cores={"nginx": 1, "cache": 1}, seed=6)
+    assert high.mean_latency() > low.mean_latency()
+
+
+def test_saturation_sheds_or_queues():
+    result = simulate(two_tier_app(), qps=50000, duration=3.0,
+                      n_machines=2, cores={"nginx": 1, "cache": 1}, seed=7)
+    # Far beyond capacity: cannot complete everything in time.
+    assert result.completion_ratio() < 0.9
+    assert result.goodput() == 0.0
+
+
+def test_analytic_matches_simulation_at_moderate_load():
+    """Cross-validation: analytic mean within ~35% of DES at rho~0.5."""
+    app = two_tier_app()
+    qps = 3000.0
+    sim = simulate(app, qps=qps, duration=20.0, n_machines=2,
+                   replicas={"nginx": 2, "cache": 1},
+                   cores={"nginx": 2, "cache": 2}, seed=8)
+    model = AnalyticModel(app, replicas={"nginx": 2, "cache": 1},
+                          cores={"nginx": 2, "cache": 2})
+    sim_mean = sim.mean_latency()
+    ana_mean, _ = model.end_to_end_moments(qps)
+    assert ana_mean == pytest.approx(sim_mean, rel=0.35)
+
+
+def test_utilization_monotone_in_load():
+    app = two_tier_app()
+    utils = []
+    for qps in (500, 2000, 6000):
+        result = simulate(app, qps=qps, duration=8.0, n_machines=2,
+                          cores={"nginx": 2, "cache": 2}, seed=9)
+        series = result.utilization["nginx"]
+        utils.append(series.mean_in(2.0, 8.0))
+    assert utils[0] < utils[1] < utils[2]
+
+
+def test_deployment_add_remove_instance():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 2)
+    deployment = Deployment(env, two_tier_app(), cluster)
+    assert len(deployment.instances_of("nginx")) == 1
+    deployment.add_instance("nginx")
+    assert len(deployment.instances_of("nginx")) == 2
+    deployment.remove_instance("nginx")
+    assert len(deployment.instances_of("nginx")) == 1
+    with pytest.raises(ValueError):
+        deployment.remove_instance("nginx")
+
+
+def test_parallel_fanout_faster_than_sequential():
+    """Parallel cache fan-out must beat sequential at low load."""
+    caches = {f"cache{i}": memcached(f"cache{i}") for i in range(4)}
+
+    def fan(groups):
+        return Application(
+            name="fan", services={"nginx": nginx(), **caches},
+            operations={"op": Operation(name="op", root=CallNode(
+                service="nginx", groups=groups))},
+            qos_latency=0.01)
+
+    children = [CallNode(service=f"cache{i}") for i in range(4)]
+    par_app = fan(par(*[CallNode(service=f"cache{i}") for i in range(4)]))
+    seq_app = fan(seq(*children))
+    par_res = simulate(par_app, qps=50, duration=5.0, n_machines=2, seed=10)
+    seq_res = simulate(seq_app, qps=50, duration=5.0, n_machines=2, seed=10)
+    assert par_res.mean_latency() < seq_res.mean_latency()
+
+
+def test_work_multiplier_slows_service():
+    app = two_tier_app()
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 2)
+    deployment = Deployment(env, app, cluster, seed=11)
+    deployment.slow_down_service("cache", 20.0)
+    result = run_experiment(deployment, 100, duration=5.0, seed=12)
+    baseline = simulate(app, qps=100, duration=5.0, n_machines=2, seed=11)
+    assert result.mean_latency() > baseline.mean_latency()

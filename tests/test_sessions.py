@@ -1,0 +1,107 @@
+"""Tests for session-based workload synthesis."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.sim import RandomStreams
+from repro.workload import UserPopulation
+from repro.workload.sessions import (
+    SOCIAL_BEHAVIOR,
+    BehaviorGraph,
+    SessionSynthesizer,
+)
+
+
+def make_synth(skew=50.0, seed=3, **kwargs):
+    users = UserPopulation.with_skew(200, skew, rng=RandomStreams(seed))
+    defaults = dict(think_time=2.0, session_rate_per_user=1.0 / 60.0,
+                    seed=seed)
+    defaults.update(kwargs)
+    return SessionSynthesizer(SOCIAL_BEHAVIOR, users, **defaults)
+
+
+def test_behavior_graph_validation():
+    with pytest.raises(ValueError):
+        BehaviorGraph(entry="a", transitions={"a": [("b", 0.7),
+                                                    ("c", 0.5)]})
+
+
+def test_behavior_graph_walk():
+    graph = BehaviorGraph(entry="a",
+                          transitions={"a": [("b", 0.5), ("c", 0.3)]})
+    assert graph.next_operation("a", 0.2) == "b"
+    assert graph.next_operation("a", 0.7) == "c"
+    assert graph.next_operation("a", 0.95) is None
+    assert graph.next_operation("unknown", 0.1) is None
+
+
+def test_social_behavior_ops_exist_in_app():
+    """Every operation the behavior graph can emit is a real Social
+    Network operation."""
+    app = build_app("social_network")
+    ops = {SOCIAL_BEHAVIOR.entry}
+    for row in SOCIAL_BEHAVIOR.transitions.values():
+        ops.update(op for op, _ in row)
+    assert ops <= set(app.operations)
+
+
+def test_synthesize_produces_ordered_stream():
+    events = make_synth().synthesize(600.0)
+    assert len(events) > 100
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    assert all(0 <= e.time < 600.0 for e in events)
+
+
+def test_sessions_start_with_login():
+    events = make_synth().synthesize(600.0)
+    first_by_user = {}
+    for event in events:
+        first_by_user.setdefault(event.user, event.operation)
+    logins = sum(1 for op in first_by_user.values() if op == "login")
+    assert logins / len(first_by_user) > 0.9  # near-all (interleaving)
+
+
+def test_reads_dominate_the_stream():
+    events = make_synth().synthesize(1200.0)
+    ops = [e.operation for e in events]
+    assert ops.count("readTimeline") > 0.3 * len(ops)
+    assert ops.count("composePost-video") < 0.05 * len(ops)
+
+
+def test_heavy_users_generate_disproportionate_load():
+    """Sec. 8: a few percent of users produce >30% of requests."""
+    events = make_synth(skew=80.0).synthesize(2400.0)
+    counts = {}
+    for event in events:
+        counts[event.user] = counts.get(event.user, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    top_5pct = sum(top[:max(1, len(top) // 20)])
+    assert top_5pct > 0.2 * len(events)
+
+
+def test_rate_trace_conserves_requests():
+    synth = make_synth()
+    events = synth.synthesize(600.0)
+    trace = synth.to_rate_trace(events, bucket=60.0, duration=600.0)
+    assert len(trace) == 10
+    total = sum(q * 60.0 for _, q in trace)
+    assert total == pytest.approx(len(events), rel=0.01)
+
+
+def test_validation():
+    users = UserPopulation(10, 1.0)
+    with pytest.raises(ValueError):
+        SessionSynthesizer(SOCIAL_BEHAVIOR, users, think_time=0.0)
+    synth = make_synth()
+    with pytest.raises(ValueError):
+        synth.synthesize(0.0)
+    with pytest.raises(ValueError):
+        synth.to_rate_trace([], bucket=0.0, duration=10.0)
+
+
+def test_determinism():
+    a = make_synth(seed=9).synthesize(300.0)
+    b = make_synth(seed=9).synthesize(300.0)
+    assert [(e.time, e.user, e.operation) for e in a] == \
+        [(e.time, e.user, e.operation) for e in b]

@@ -1,0 +1,145 @@
+"""Tests for machine-level shared-CPU colocation (interference)."""
+
+import pytest
+
+from repro.arch import XEON
+from repro.cluster import Cluster, Machine, ServiceInstance
+from repro.core import Deployment, run_experiment
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import memcached, mongodb, nginx
+from repro.sim import Environment
+
+
+def test_shared_view_time_semantics_match_dedicated():
+    """Alone on the machine, a shared-CPU job takes exactly the
+    dedicated-model time for any frequency sensitivity."""
+    for definition in (nginx("web"), mongodb("db")):
+        env = Environment()
+        machine = Machine(env, "m", XEON)
+        machine.set_frequency(1.25)  # half the nominal Xeon clock
+        dedicated = ServiceInstance(env, definition, machine, cores=2)
+        shared = ServiceInstance(env, definition, machine, cores=2,
+                                 share_machine_cpu=True)
+        done = {}
+
+        def job(tag, inst):
+            yield inst.compute(1e-3)
+            done[tag] = env.now
+
+        env.process(job("dedicated", dedicated))
+        env.process(job("shared", shared))
+        env.run()
+        assert done["shared"] == pytest.approx(done["dedicated"],
+                                               rel=1e-6), definition.name
+
+
+def test_colocated_burst_interferes_only_when_shared():
+    """A neighbour's CPU burst slows a shared-CPU instance but not a
+    dedicated one."""
+    def run(shared):
+        env = Environment()
+        machine = Machine(env, "m", XEON)
+        victim = ServiceInstance(env, nginx("victim"), machine, cores=2,
+                                 share_machine_cpu=shared)
+        noisy = ServiceInstance(env, nginx("noisy"), machine, cores=2,
+                                share_machine_cpu=shared)
+        finished = {}
+
+        def burst():
+            # Saturate the machine's 40 cores with 80 parallel jobs.
+            for _ in range(80):
+                noisy.cpu.service(0.5)
+            yield env.timeout(0.0)
+
+        def victim_job():
+            yield env.timeout(0.01)
+            start = env.now
+            yield victim.compute(1e-3)
+            finished["latency"] = env.now - start
+
+        env.process(burst())
+        env.process(victim_job())
+        env.run()
+        return finished["latency"]
+
+    isolated = run(shared=False)
+    contended = run(shared=True)
+    assert isolated == pytest.approx(1e-3, rel=0.01)
+    assert contended > 1.5 * isolated
+
+
+def test_shared_busy_time_accounting():
+    env = Environment()
+    machine = Machine(env, "m", XEON)
+    inst = ServiceInstance(env, nginx("web"), machine, cores=2,
+                           share_machine_cpu=True)
+
+    def job():
+        yield inst.compute(2e-3)
+
+    env.process(job())
+    env.run()
+    # beta=0.85, speed=1: scaled work == nominal work; rate 1.
+    assert inst.cpu.busy_time() == pytest.approx(2e-3, rel=1e-6)
+
+
+def test_machine_frequency_updates_shared_server():
+    env = Environment()
+    machine = Machine(env, "m", XEON)
+    ServiceInstance(env, nginx("web"), machine, cores=2,
+                    share_machine_cpu=True)
+    rate_before = machine.shared_cpu.rate
+    machine.set_frequency(1.25)
+    assert machine.shared_cpu.rate == pytest.approx(rate_before / 2)
+
+
+def two_tier():
+    return Application(
+        name="two-tier",
+        services={"web": nginx("web"), "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.05)
+
+
+def test_deployment_end_to_end_with_shared_cpu():
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 2)
+    dep = Deployment(env, two_tier(), cluster, share_machine_cpu=True,
+                     seed=131)
+    result = run_experiment(dep, 100, duration=5.0, seed=132)
+    assert result.collector.total_collected > 300
+    assert result.completion_ratio() > 0.95
+    assert all(inst.shared for s in dep.service_names()
+               for inst in dep.instances_of(s))
+
+
+def test_binpacked_shared_deployment_shows_interference():
+    """Bin-packed + shared CPU: a slowed operation's load inflates the
+    *other* operation's latency on the same machine; spread + dedicated
+    cores keeps them isolated."""
+    app = Application(
+        name="pair",
+        services={"a": nginx("a", work_mean=2e-3),
+                  "b": nginx("b", work_mean=2e-3)},
+        operations={
+            "opA": Operation(name="opA", root=CallNode(service="a")),
+            "opB": Operation(name="opB", root=CallNode(service="b")),
+        },
+        qos_latency=0.1)
+
+    def run(shared):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, XEON, 1)
+        dep = Deployment(env, app, cluster, cores={"a": 20, "b": 20},
+                         share_machine_cpu=shared, seed=133)
+        # Operation A becomes a CPU hog whose demand exceeds even the
+        # machine's full core pool.
+        dep.slow_down_operation("opA", 60.0)
+        run_experiment(dep, 900, duration=8.0,
+                       mix={"opA": 0.5, "opB": 0.5}, seed=134)
+        return dep.collector.per_operation["opB"].mean(start=2.0)
+
+    isolated_b = run(shared=False)
+    contended_b = run(shared=True)
+    assert contended_b > 2.0 * isolated_b

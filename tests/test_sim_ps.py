@@ -1,0 +1,181 @@
+"""Unit and property tests for the processor-sharing server."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, ProcessorSharingServer, SimulationError
+
+
+def run_jobs(cores, rate, jobs):
+    """Submit (arrival, work) jobs; return list of (completion_time)."""
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=cores, rate=rate)
+    completions = {}
+
+    def submit(idx, arrival, work):
+        yield env.timeout(arrival)
+        yield server.service(work)
+        completions[idx] = env.now
+
+    for idx, (arrival, work) in enumerate(jobs):
+        env.process(submit(idx, arrival, work))
+    env.run()
+    return [completions[i] for i in range(len(jobs))]
+
+
+def test_single_job_takes_work_over_rate():
+    (done,) = run_jobs(cores=1, rate=2.0, jobs=[(0.0, 4.0)])
+    assert done == pytest.approx(2.0)
+
+
+def test_two_equal_jobs_share_one_core():
+    done = run_jobs(cores=1, rate=1.0, jobs=[(0.0, 1.0), (0.0, 1.0)])
+    # Each gets half the core: both finish at t=2.
+    assert done == pytest.approx([2.0, 2.0])
+
+
+def test_two_jobs_two_cores_no_interference():
+    done = run_jobs(cores=2, rate=1.0, jobs=[(0.0, 1.0), (0.0, 1.0)])
+    assert done == pytest.approx([1.0, 1.0])
+
+
+def test_late_arrival_slows_first_job():
+    # Job A (work 2) alone for 1s -> 1 unit left; B arrives (work 0.5).
+    # Shared: B finishes after 1s shared (0.5 each); A has 0.5 left, alone.
+    done = run_jobs(cores=1, rate=1.0, jobs=[(0.0, 2.0), (1.0, 0.5)])
+    assert done[1] == pytest.approx(2.0)
+    assert done[0] == pytest.approx(2.5)
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=1, rate=1.0)
+    marks = []
+
+    def proc():
+        yield server.service(0.0)
+        marks.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert marks == [0.0]
+
+
+def test_set_rate_mid_flight():
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=1, rate=1.0)
+    done = []
+
+    def job():
+        yield server.service(2.0)
+        done.append(env.now)
+
+    def slow_down():
+        yield env.timeout(1.0)
+        server.set_rate(0.5)  # remaining 1.0 work now takes 2.0s
+
+    env.process(job())
+    env.process(slow_down())
+    env.run()
+    assert done == [pytest.approx(3.0)]
+
+
+def test_set_cores_mid_flight_speeds_up_backlog():
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=1, rate=1.0)
+    done = []
+
+    def job(tag):
+        yield server.service(2.0)
+        done.append((tag, env.now))
+
+    def scale_out():
+        yield env.timeout(1.0)
+        server.set_cores(2)
+
+    env.process(job("a"))
+    env.process(job("b"))
+    env.process(scale_out())
+    env.run()
+    # First second shared on 1 core: each has 1.5 work left, then each
+    # gets a full core: finish at t=2.5.
+    assert sorted(t for _, t in done) == pytest.approx([2.5, 2.5])
+
+
+def test_utilization_integration():
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=2, rate=1.0)
+
+    def job():
+        yield server.service(1.0)
+
+    def check():
+        yield env.timeout(4.0)
+
+    env.process(job())
+    env.process(check())
+    env.run()
+    # 1 busy core for 1s out of 2 cores * 4s = 0.125
+    assert server.utilization_since(0.0) == pytest.approx(1.0 / 8.0)
+
+
+def test_invalid_parameters_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        ProcessorSharingServer(env, cores=0)
+    with pytest.raises(SimulationError):
+        ProcessorSharingServer(env, rate=0.0)
+    server = ProcessorSharingServer(env)
+    with pytest.raises(SimulationError):
+        server.service(-1.0)
+    with pytest.raises(SimulationError):
+        server.set_rate(-2.0)
+    with pytest.raises(SimulationError):
+        server.set_cores(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(st.floats(min_value=0.01, max_value=5.0),
+                   min_size=1, max_size=8),
+    arrivals=st.lists(st.floats(min_value=0.0, max_value=3.0),
+                      min_size=8, max_size=8),
+    cores=st.integers(min_value=1, max_value=4),
+)
+def test_property_conservation_of_work(works, arrivals, cores):
+    """Total busy time equals total submitted work / rate, and every job
+    finishes no earlier than arrival + work/rate (PS can only slow you)."""
+    jobs = [(arrivals[i], w) for i, w in enumerate(works)]
+    env = Environment()
+    server = ProcessorSharingServer(env, cores=cores, rate=1.0)
+    completions = {}
+
+    def submit(idx, arrival, work):
+        yield env.timeout(arrival)
+        yield server.service(work)
+        completions[idx] = env.now
+
+    for idx, (arrival, work) in enumerate(jobs):
+        env.process(submit(idx, arrival, work))
+    env.run()
+
+    assert len(completions) == len(jobs)
+    for idx, (arrival, work) in enumerate(jobs):
+        lower = arrival + work - 1e-6
+        assert completions[idx] >= lower
+    # Work conservation: busy-core integral == total work (rate=1).
+    total_work = sum(works)
+    busy = server.utilization_since(0.0) * server.cores * env.now
+    assert busy == pytest.approx(total_work, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=12))
+def test_property_simultaneous_equal_jobs_finish_together(n):
+    """n equal jobs on one core all finish at exactly n * work."""
+    done = run_jobs(cores=1, rate=1.0, jobs=[(0.0, 1.0)] * n)
+    for t in done:
+        assert math.isclose(t, float(n), rel_tol=1e-9)

@@ -1,0 +1,209 @@
+"""Unit tests for Resource, Container, and Store primitives."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def user(tag, hold):
+        with res.request() as req:
+            yield req
+            starts.append((tag, env.now))
+            yield env.timeout(hold)
+
+    env.process(user("a", 5.0))
+    env.process(user("b", 5.0))
+    env.process(user("c", 5.0))
+    env.run()
+    assert starts == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(tag, arrive):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(10.0)
+
+    for i, tag in enumerate(["first", "second", "third"]):
+        env.process(user(tag, float(i)))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_utilization_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=4)
+    checks = []
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def observer():
+        yield env.timeout(0.5)
+        checks.append((res.count, res.queue_length, res.utilization))
+
+    for _ in range(6):
+        env.process(user())
+    env.process(observer())
+    env.run()
+    assert checks == [(4, 2, 1.0)]
+
+
+def test_resource_release_while_queued_withdraws():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def quitter():
+        req = res.request()
+        yield env.timeout(1.0)
+        req.release()  # gives up before being granted
+
+    def patient():
+        yield env.timeout(0.5)
+        with res.request() as req:
+            yield req
+            order.append(env.now)
+
+    env.process(holder())
+    env.process(quitter())
+    env.process(patient())
+    env.run()
+    assert order == [10.0]
+
+
+def test_resource_resize_admits_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    starts = []
+
+    def user(tag):
+        with res.request() as req:
+            yield req
+            starts.append((tag, env.now))
+            yield env.timeout(10.0)
+
+    def grow():
+        yield env.timeout(2.0)
+        res.resize(3)
+
+    for tag in "abc":
+        env.process(user(tag))
+    env.process(grow())
+    env.run()
+    assert starts == [("a", 0.0), ("b", 2.0), ("c", 2.0)]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.resize(0)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=0.0)
+    got = []
+
+    def consumer():
+        yield tank.get(10.0)
+        got.append(env.now)
+
+    def producer():
+        yield env.timeout(3.0)
+        yield tank.put(10.0)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [3.0]
+    assert tank.level == 0.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+    done = []
+
+    def producer():
+        yield tank.put(5.0)
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(2.0)
+        yield tank.get(5.0)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert done == [2.0]
+    assert tank.level == 10.0
+
+
+def test_container_rejects_bad_init():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5.0, init=6.0)
+
+
+def test_store_fifo_semantics():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in ["x", "y", "z"]:
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert [item for _, item in received] == ["x", "y", "z"]
+
+
+def test_store_bounded_blocks_producer():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put(1)
+        times.append(env.now)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0.0, 4.0]

@@ -1,0 +1,48 @@
+"""Tests for the DeathStarBench facade and Table 1 reporting."""
+
+from repro import DeathStarBench, QoSTarget
+
+
+def test_apps_listing():
+    suite = DeathStarBench()
+    assert len(suite.apps()) == 6
+    assert "social_network" in suite.apps()
+
+
+def test_build_all_returns_every_app():
+    suite = DeathStarBench()
+    apps = suite.build_all()
+    assert set(apps) == set(suite.apps())
+    for app in apps.values():
+        assert app.unique_microservices >= 21
+
+
+def test_monolith_builder():
+    suite = DeathStarBench()
+    mono = suite.build_monolith("banking")
+    assert "monolith" in mono.services
+
+
+def test_qos_returns_target():
+    suite = DeathStarBench()
+    target = suite.qos("media_service")
+    assert isinstance(target, QoSTarget)
+    assert target.latency == suite.build("media_service").qos_latency
+
+
+def test_table1_rows_match_paper_counts():
+    suite = DeathStarBench()
+    rows = suite.table1_rows()
+    assert len(rows) == 6
+    for row in rows:
+        name, protocol, built, paper, locs, langs = row
+        assert built == paper, name
+        assert protocol in ("RPC", "HTTP")
+        assert isinstance(langs, str) and "%" in langs
+
+
+def test_table1_renders():
+    table = DeathStarBench().table1()
+    assert "Table 1" in table
+    assert "social_network" in table
+    assert table.count("\n") >= 7

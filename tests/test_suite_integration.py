@@ -1,0 +1,102 @@
+"""Suite-level integration tests: every app end to end.
+
+One short DES run per application, checking that the full pipeline
+(placement -> routing -> call trees -> tracing -> statistics) works for
+all six services and their monoliths, plus paper-shape sanity checks
+that cut across modules.
+"""
+
+import pytest
+
+from repro import (
+    DeathStarBench,
+    balanced_provision,
+    build_monolith,
+    simulate,
+)
+from repro.tracing import network_share
+
+SUITE = DeathStarBench()
+
+
+def run_app(app, qps=40, duration=8.0, seed=21, **kwargs):
+    edge_services = [n for n in app.services if app.zone_of(n) == "edge"]
+    edge = 24 if edge_services else 0
+    if edge_services and "replicas" not in kwargs:
+        # One replica of each on-drone service per drone, as deployed.
+        kwargs["replicas"] = {n: edge for n in edge_services}
+        kwargs["cores"] = {n: 1 for n in edge_services}
+    return simulate(app, qps=qps, duration=duration, n_machines=4,
+                    edge_machines=edge, seed=seed, **kwargs)
+
+
+@pytest.mark.parametrize("name", SUITE.apps())
+def test_end_to_end_run(name):
+    app = SUITE.build(name)
+    result = run_app(app)
+    assert result.collector.total_collected > 100
+    assert result.completion_ratio() > 0.9
+    # Latency floor: at least the client wire RTT.
+    assert result.mean_latency() > 100e-6
+    # Every operation in the mix completed at least once.
+    assert set(result.collector.per_operation) == set(app.operations)
+    # Traces exist and tree services match defined services.
+    trace = result.collector.traces[0]
+    assert all(s in app.services for s in trace.services())
+
+
+@pytest.mark.parametrize("name", ["social_network", "ecommerce"])
+def test_monolith_end_to_end_run(name):
+    mono = build_monolith(name)
+    result = run_app(mono, seed=22)
+    assert result.collector.total_collected > 100
+    assert result.completion_ratio() > 0.9
+
+
+def test_monolith_spends_less_on_network():
+    """Fig. 3's companion claim: the monolithic Social Network spends a
+    dramatically smaller share of time on network processing."""
+    micro = run_app(SUITE.build("social_network"), seed=23)
+    mono = run_app(build_monolith("social_network"), seed=23)
+    micro_share = network_share(
+        [t for t in micro.collector.traces if t.start >= micro.warmup])
+    mono_share = network_share(
+        [t for t in mono.collector.traces if t.start >= mono.warmup])
+    assert mono_share < micro_share
+
+
+def test_swarm_edge_faster_than_cloud_at_low_load():
+    """Fig. 9: at low load the edge path skips the wifi RTT."""
+    edge = run_app(SUITE.build("swarm_edge"), qps=5, seed=24,
+                   mix={"avoidObstacle": 1.0})
+    cloud = run_app(SUITE.build("swarm_cloud"), qps=5, seed=24,
+                    mix={"avoidObstacle": 1.0})
+    assert edge.mean_latency() < cloud.mean_latency()
+
+
+def test_provisioned_deployment_meets_qos():
+    """Balanced provisioning keeps each app inside QoS at the target."""
+    for name in ("social_network", "banking"):
+        app = SUITE.build(name)
+        replicas = balanced_provision(app, target_qps=150,
+                                      target_util=0.5)
+        result = simulate(app, qps=100, duration=10.0, n_machines=6,
+                          replicas=replicas, seed=25)
+        assert result.qos_met(), name
+
+
+def test_qos_targets_consistent():
+    for name in SUITE.apps():
+        target = SUITE.qos(name)
+        assert target.latency == SUITE.build(name).qos_latency
+
+
+def test_social_network_latency_matches_paper_scale():
+    """The paper reports ~3.8 ms end-to-end latency for the Social
+    Network at moderate load; the model is calibrated to land within
+    about 2x of that."""
+    app = SUITE.build("social_network")
+    replicas = balanced_provision(app, target_qps=150, target_util=0.5)
+    result = simulate(app, qps=100, duration=12.0, n_machines=6,
+                      replicas=replicas, seed=26)
+    assert 1.5e-3 < result.mean_latency() < 8e-3

@@ -1,0 +1,68 @@
+"""Tests for Zipkin-style trace export/import."""
+
+import json
+
+import pytest
+
+from repro.apps import build_app
+from repro.core import simulate
+from repro.tracing import (
+    Span,
+    Trace,
+    traces_from_json,
+    traces_to_json,
+    span_records,
+)
+
+
+def make_trace(user=7):
+    child = Span(service="cache", operation="get", start=1.0, end=2.0,
+                 app_time=0.5, net_time=0.2)
+    root = Span(service="web", operation="get", start=0.0, end=3.0,
+                app_time=1.0, net_time=0.3, block_time=0.1,
+                children=[child])
+    return Trace(operation="get", root=root, user=user)
+
+
+def test_span_records_flatten_with_parent_links():
+    records = span_records(make_trace(), trace_id=5)
+    assert len(records) == 2
+    root, child = records
+    assert root["parentId"] is None
+    assert child["parentId"] == root["id"]
+    assert root["traceId"] == child["traceId"] == "00000005"
+    assert root["duration"] == 3_000_000
+    assert child["localEndpoint"]["serviceName"] == "cache"
+
+
+def test_round_trip_preserves_structure_and_times():
+    original = [make_trace(user=1), make_trace(user=2)]
+    payload = traces_to_json(original)
+    restored = traces_from_json(payload)
+    assert len(restored) == 2
+    for orig, back in zip(original, restored):
+        assert back.operation == orig.operation
+        assert back.user == orig.user
+        assert back.latency == pytest.approx(orig.latency, abs=1e-5)
+        assert [s.service for s in back.root.walk()] == \
+            [s.service for s in orig.root.walk()]
+        assert back.root.children[0].app_time == pytest.approx(
+            orig.root.children[0].app_time, abs=1e-5)
+
+
+def test_export_is_valid_json_array():
+    payload = traces_to_json([make_trace()], indent=2)
+    data = json.loads(payload)
+    assert isinstance(data, list)
+    assert all("timestamp" in r for r in data)
+
+
+def test_real_simulation_traces_round_trip():
+    result = simulate(build_app("banking"), qps=20, duration=4.0,
+                      n_machines=3, seed=41)
+    traces = result.collector.traces[:20]
+    restored = traces_from_json(traces_to_json(traces))
+    assert len(restored) == 20
+    for orig, back in zip(traces, restored):
+        assert back.latency == pytest.approx(orig.latency, abs=2e-6)
+        assert len(back.spans()) == len(orig.spans())

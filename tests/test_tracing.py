@@ -1,0 +1,112 @@
+"""Tests for spans, traces, the collector, and latency attribution."""
+
+import pytest
+
+from repro.tracing import (
+    Span,
+    Trace,
+    TraceCollector,
+    critical_path_services,
+    network_share,
+    per_service_breakdown,
+    per_service_exclusive,
+)
+
+
+def make_trace():
+    """front [0,10] -> {cache [1,3], db [2,9]} with db -> disk [4,8]."""
+    disk = Span(service="disk", operation="op", start=4.0, end=8.0,
+                app_time=4.0)
+    db = Span(service="db", operation="op", start=2.0, end=9.0,
+              app_time=2.0, net_time=1.0, children=[disk])
+    cache = Span(service="cache", operation="op", start=1.0, end=3.0,
+                 app_time=1.0, net_time=0.5)
+    front = Span(service="front", operation="op", start=0.0, end=10.0,
+                 app_time=1.5, net_time=1.0, children=[cache, db])
+    return Trace(operation="op", root=front)
+
+
+def test_span_duration_and_walk():
+    trace = make_trace()
+    assert trace.latency == 10.0
+    assert [s.service for s in trace.root.walk()] == \
+        ["front", "cache", "db", "disk"]
+    assert trace.services() == ["front", "cache", "db", "disk"]
+
+
+def test_exclusive_time_subtracts_child_union():
+    trace = make_trace()
+    # front: children cover [1,3] u [2,9] = [1,9] -> 8; 10 - 8 = 2.
+    assert trace.root.exclusive_time() == pytest.approx(2.0)
+    # db: child covers [4,8] -> 7 - 4 = 3.
+    db = trace.root.children[1]
+    assert db.exclusive_time() == pytest.approx(3.0)
+    # leaves keep their whole duration.
+    assert db.children[0].exclusive_time() == pytest.approx(4.0)
+
+
+def test_exclusive_time_disjoint_children():
+    a = Span(service="a", operation="op", start=1.0, end=2.0)
+    b = Span(service="b", operation="op", start=3.0, end=4.0)
+    parent = Span(service="p", operation="op", start=0.0, end=10.0,
+                  children=[a, b])
+    assert parent.exclusive_time() == pytest.approx(8.0)
+
+
+def test_critical_path_follows_latest_child():
+    trace = make_trace()
+    assert [s.service for s in trace.critical_path()] == \
+        ["front", "db", "disk"]
+
+
+def test_collector_aggregates():
+    collector = TraceCollector()
+    for _ in range(3):
+        collector.collect(make_trace())
+    assert collector.total_collected == 3
+    assert collector.tail(0.5) == pytest.approx(10.0)
+    assert collector.service_tail("db", 0.5) == pytest.approx(7.0)
+    assert set(collector.services()) == {"front", "cache", "db", "disk"}
+
+
+def test_collector_trace_cap():
+    collector = TraceCollector(keep_traces=2)
+    for _ in range(5):
+        collector.collect(make_trace())
+    assert len(collector.traces) == 2
+    assert collector.total_collected == 5
+
+
+def test_network_share():
+    traces = [make_trace()]
+    # net = 1 + 0.5 + 1 = 2.5; app = 1.5 + 1 + 2 + 4 = 8.5.
+    assert network_share(traces) == pytest.approx(2.5 / 11.0)
+    with pytest.raises(ValueError):
+        network_share([Trace(operation="x",
+                             root=Span(service="a", operation="x",
+                                       start=0.0, end=0.0))])
+
+
+def test_per_service_breakdown():
+    out = per_service_breakdown([make_trace(), make_trace()])
+    assert out["cache"]["count"] == 2
+    assert out["cache"]["app"] == pytest.approx(1.0)
+    assert out["cache"]["net"] == pytest.approx(0.5)
+    assert out["front"]["span_p99"] == pytest.approx(10.0)
+
+
+def test_per_service_exclusive():
+    out = per_service_exclusive([make_trace()])
+    assert out["front"] == pytest.approx(2.0)
+    assert out["disk"] == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        per_service_exclusive([])
+
+
+def test_critical_path_services_fractions():
+    out = critical_path_services([make_trace()])
+    assert out["front"] == 1.0
+    assert out["db"] == 1.0
+    assert "cache" not in out
+    with pytest.raises(ValueError):
+        critical_path_services([])
