@@ -47,7 +47,7 @@ def run_variance(hedge_after, seed=141):
                             hedge_after=hedge_after)
     gen.start(40.0)
     env.run(until=40.0)
-    lats = [v for t, v in gen.hedged_latencies if t > 5.0]
+    lats = deployment.collector.end_to_end.samples(start=5.0)
     return {
         "p50": float(np.quantile(lats, 0.5)),
         "p99": float(np.quantile(lats, 0.99)),
@@ -72,7 +72,7 @@ def run_degraded(hedge_after, seed=151):
                             hedge_after=hedge_after)
     gen.start(40.0)
     env.run(until=40.0)
-    lats = [v for t, v in gen.hedged_latencies if t > 10.0]
+    lats = deployment.collector.end_to_end.samples(start=10.0)
     return {
         "p50": float(np.quantile(lats, 0.5)),
         "p99": float(np.quantile(lats, 0.99)),

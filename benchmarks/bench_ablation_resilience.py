@@ -1,0 +1,236 @@
+"""Ablation: resilience policies under the paper's failure scenarios.
+
+Two experiments from the evaluation, re-run under three policy stacks:
+
+* **none** — the seed behaviour: no timeouts, no retries; slow tiers
+  make callers wait forever.
+* **naive** — per-RPC timeouts (2x each tier's healthy p99) plus 3
+  immediate retries, no retry budget, no deadline, no breakers.  This
+  is the configuration that turns a local slowdown into a *retry
+  storm*: timed-out attempts are abandoned (the server keeps burning
+  CPU for them) while the retry adds a fresh copy of the work.
+* **full** — the same timeouts with budgeted, jittered retries, an
+  end-to-end deadline propagated down the call tree, and circuit
+  breakers (per-instance for the slow-server scenario, so degraded
+  replicas are ejected from rotation).
+
+Scenario A is Fig. 19's cascading hotspot (mongo-timeline slowed 6x
+mid-run); scenario B is Fig. 22c's slow servers (5% of occupied
+machines under aggressive power management).  The metric is windowed
+*goodput*: successfully completed requests per second finishing within
+QoS during the fault window.
+
+Asserted bands: naive retries strictly lose goodput against doing
+nothing in the cascade (the storm deepens the collapse), and the full
+stack recovers at least 2x the naive goodput on slow servers.
+"""
+
+from helpers import report, run_once
+
+from repro import balanced_provision, build_app
+from repro.arch import EC2_C5, XEON
+from repro.cluster import Cluster
+from repro.core import Deployment, run_experiment
+from repro.resilience import BreakerConfig, ResiliencePolicy
+from repro.sim import Environment, RandomStreams
+from repro.stats import format_table
+
+#: Time dilation, as in bench_fig19_cascade: scales CPU demand and the
+#: QoS target together so tiers reach realistic utilization at a
+#: simulation-friendly request rate.
+DILATION = 50.0
+
+
+def derive_policies(app, baselines, mode, per_instance=False,
+                    deadline=None):
+    """Build per-service policies the way an operator would: each
+    tier's RPC timeout is set at 2x its healthy span p99 (tight enough
+    to catch a fault's 3-6x degradation, loose enough that healthy
+    tail traffic passes).
+
+    ``baselines`` maps service -> healthy p99 span duration; tiers the
+    baseline never exercised keep no policy."""
+    entries = {op.root.service for op in app.operations.values()}
+    policies = {}
+    for svc, p99 in baselines.items():
+        if p99 != p99 or p99 <= 0:  # NaN: tier unseen in baseline
+            continue
+        timeout = 2.0 * p99
+        if mode == "naive":
+            policies[svc] = ResiliencePolicy(
+                rpc_timeout=timeout, max_retries=3, backoff_base=0.0)
+        else:
+            policies[svc] = ResiliencePolicy(
+                rpc_timeout=timeout, max_retries=2,
+                backoff_base=0.5 * timeout, backoff_jitter=0.5,
+                retry_budget_ratio=0.1,
+                deadline=deadline if svc in entries else None,
+                breaker=BreakerConfig(window=40, min_volume=20,
+                                      failure_threshold=0.6,
+                                      reset_timeout=4.0 * timeout,
+                                      per_instance=per_instance))
+    return policies
+
+
+def healthy_tails(result, app, start, end=None):
+    return {svc: result.collector.per_service[svc].tail(0.99, start=start,
+                                                        end=end)
+            for svc in app.services}
+
+
+def goodput(result, qos, start, end):
+    """Successful completions within QoS per second over a window."""
+    window = result.collector.end_to_end.samples(start=start, end=end)
+    good = int((window <= qos).sum())
+    return good / (end - start)
+
+
+# -------------------------------------------------- A: Fig 19 cascade --
+
+A_DURATION = 150.0
+A_INJECT_AT = 50.0
+A_QPS = 60.0
+
+
+def run_cascade(mode, policies=None, seed=71):
+    env = Environment()
+    app = build_app("social_network").with_work_scaled(DILATION)
+    replicas = balanced_provision(app, target_qps=A_QPS, target_util=0.6,
+                                  cores_per_replica=1)
+    cluster = Cluster.homogeneous(env, XEON, 8)
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores={name: 1 for name in app.services},
+                            seed=seed, policies=policies or {})
+
+    def inject():
+        yield env.timeout(A_INJECT_AT)
+        deployment.slow_down_service("mongo-timeline", 6.0)
+
+    env.process(inject())
+    result = run_experiment(deployment, A_QPS, duration=A_DURATION,
+                            warmup=5.0, seed=seed + 1)
+    return result, app
+
+
+def cascade_ablation():
+    none_result, app = run_cascade("none")
+    qos = app.qos_latency
+    baselines = healthy_tails(none_result, app, start=5.0,
+                              end=A_INJECT_AT)
+    out = {}
+    results = {"none": none_result}
+    for mode in ("naive", "full"):
+        policies = derive_policies(app, baselines, mode,
+                                   per_instance=False, deadline=qos)
+        results[mode], _ = run_cascade(mode, policies)
+    window = (A_INJECT_AT + 10.0, A_DURATION)
+    for mode, result in results.items():
+        out[mode] = {
+            "goodput": goodput(result, qos, *window),
+            "healthy_goodput": goodput(result, qos, 5.0, A_INJECT_AT),
+            "retries": result.deployment.resilience_stats["retries"],
+            "timeouts": result.deployment.resilience_stats["timeouts"],
+            "sheds": result.deployment.resilience_stats["shed"],
+            "breaks": result.deployment.resilience_stats[
+                "breaker_rejected"],
+        }
+    return out
+
+
+# --------------------------------------------- B: Fig 22c slow servers --
+
+B_MACHINES = 40
+B_QPS = 1.5 * B_MACHINES
+B_DURATION = 30.0
+B_WARMUP = 5.0
+B_SLOW_FRACTION = 0.05
+
+
+def run_slow_servers(mode, policies=None, slow=True, seed=111):
+    env = Environment()
+    app = build_app("social_network").with_work_scaled(DILATION)
+    replicas = balanced_provision(app, target_qps=B_QPS, target_util=0.6,
+                                  cores_per_replica=1)
+    cluster = Cluster.homogeneous(env, EC2_C5, B_MACHINES)
+    deployment = Deployment(env, app, cluster, replicas=replicas,
+                            cores={name: 1 for name in app.services},
+                            seed=seed, policies=policies or {})
+    if slow:
+        occupied = [m for m in cluster.machines if m.instances]
+        count = max(1, round(B_SLOW_FRACTION * len(occupied)))
+        rng = RandomStreams(seed).stream("victims")
+        for machine in rng.sample(occupied, count):
+            machine.set_slow_factor(0.3)
+    result = run_experiment(deployment, B_QPS, duration=B_DURATION,
+                            warmup=B_WARMUP, seed=seed + 1)
+    return result, app
+
+
+def slow_server_ablation():
+    healthy, app = run_slow_servers("none", slow=False)
+    window = (B_WARMUP, B_DURATION)
+    # QoS at the knee: 2x the fault-free p95 (paper's Fig. 22c setup).
+    qos = 2.0 * healthy.collector.end_to_end.tail(0.95, start=B_WARMUP)
+    baselines = healthy_tails(healthy, app, start=B_WARMUP)
+    base_goodput = goodput(healthy, qos, *window)
+    out = {}
+    for mode in ("none", "naive", "full"):
+        policies = None if mode == "none" else derive_policies(
+            app, baselines, mode, per_instance=True, deadline=qos)
+        result, _ = run_slow_servers(mode, policies)
+        out[mode] = {
+            "goodput": goodput(result, qos, *window) / base_goodput,
+            "retries": result.deployment.resilience_stats["retries"],
+            "timeouts": result.deployment.resilience_stats["timeouts"],
+            "sheds": result.deployment.resilience_stats["shed"],
+            "breaks": result.deployment.resilience_stats[
+                "breaker_rejected"],
+        }
+    return out
+
+
+def test_ablation_resilience(benchmark):
+    def run():
+        return {"cascade": cascade_ablation(),
+                "slow": slow_server_ablation()}
+
+    out = run_once(benchmark, run)
+    rows = []
+    for scenario, table in out.items():
+        for mode, d in table.items():
+            rows.append([scenario, mode, f"{d['goodput']:.2f}",
+                         str(d["retries"]), str(d["timeouts"]),
+                         str(d["breaks"])])
+    report("ablation_resilience", format_table(
+        ["scenario", "policy", "goodput", "retries", "timeouts",
+         "breaker rejections"],
+        rows, title="Ablation: resilience policies under the Fig. 19 "
+                    "cascade and Fig. 22c slow servers"))
+
+    cascade = out["cascade"]
+    # Pre-fault, the policy layers cost nothing: every stack keeps the
+    # healthy goodput of the unprotected system.
+    for mode in ("naive", "full"):
+        assert cascade[mode]["healthy_goodput"] > \
+            0.9 * cascade["none"]["healthy_goodput"], mode
+    # The retry storm: naive timeouts+retries lose goodput against
+    # doing nothing at all — abandoned attempts keep the saturated tier
+    # busy while retries multiply its arrival rate.
+    assert cascade["naive"]["goodput"] < \
+        0.8 * cascade["none"]["goodput"]
+    assert cascade["naive"]["retries"] > cascade["full"]["retries"]
+    # The full stack holds the line against no-policy: breakers fail
+    # requests to the saturated tier fast instead of letting them clog
+    # callers, so the surviving paths keep completing within QoS.
+    assert cascade["full"]["goodput"] >= \
+        0.9 * cascade["none"]["goodput"]
+
+    slow = out["slow"]
+    # Slow servers: naive retries turn a tolerable degradation into a
+    # collapse (timeouts fire everywhere once queues build)...
+    assert slow["naive"]["goodput"] < 0.5 * slow["none"]["goodput"]
+    # ...while deadlines + budgeted retries + per-instance breakers
+    # (outlier ejection) recover >= 2x the naive goodput and keep
+    # nearly all of the fault-free goodput.
+    assert slow["full"]["goodput"] >= 2.0 * slow["naive"]["goodput"]
+    assert slow["full"]["goodput"] >= 0.8

@@ -52,7 +52,7 @@ def run(hedge_after=None, depscaler=False, seed=19):
                             hedge_after=hedge_after or 1e9)
     gen.start(DURATION)
     env.run(until=DURATION)
-    lats = [v for t, v in gen.hedged_latencies if t > 10.0]
+    lats = deployment.collector.end_to_end.samples(start=10.0)
     return {
         "p50": float(np.quantile(lats, 0.5)) * 1e3,
         "p99": float(np.quantile(lats, 0.99)) * 1e3,

@@ -29,6 +29,11 @@ from .core import (
     run_experiment,
     simulate,
 )
+from .resilience import (
+    BreakerConfig,
+    LoadShedder,
+    ResiliencePolicy,
+)
 from .services import Application, CallNode, Operation, ServiceDefinition
 
 __version__ = "1.0.0"
@@ -36,12 +41,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalyticModel",
     "Application",
+    "BreakerConfig",
     "CallNode",
     "DeathStarBench",
     "Deployment",
     "ExperimentResult",
+    "LoadShedder",
     "Operation",
     "QoSTarget",
+    "ResiliencePolicy",
     "ServiceDefinition",
     "app_names",
     "balanced_provision",

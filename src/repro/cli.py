@@ -59,12 +59,42 @@ def _cmd_describe(args) -> int:
     return 0
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _resilience_policy(args):
+    """Build a default policy from ``simulate``'s resilience flags, or
+    None when no flag was given (the policy-free fast path)."""
+    if not (args.retries or args.rpc_timeout or args.breakers):
+        return None
+    from .resilience import BreakerConfig, ResiliencePolicy
+    timeout = args.rpc_timeout
+    return ResiliencePolicy(
+        rpc_timeout=timeout,
+        max_retries=args.retries,
+        backoff_base=(timeout or 0.01) * 0.5 if args.retries else 0.0,
+        retry_budget_ratio=0.2 if args.retries else None,
+        breaker=BreakerConfig() if args.breakers else None)
+
+
 def _cmd_simulate(args) -> int:
     app = build_app(args.app)
     replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    policy = _resilience_policy(args)
     result = simulate(app, qps=args.qps, duration=args.duration,
                       n_machines=args.machines, replicas=replicas,
-                      seed=args.seed)
+                      seed=args.seed, default_policy=policy)
     rows = [
         ["offered load (QPS)", f"{args.qps:g}"],
         ["throughput (req/s)", f"{result.throughput():.1f}"],
@@ -75,6 +105,14 @@ def _cmd_simulate(args) -> int:
         ["QoS met", str(result.qos_met())],
         ["completion ratio", f"{result.completion_ratio():.3f}"],
     ]
+    if policy is not None:
+        stats = result.deployment.resilience_stats
+        rows += [
+            ["success ratio", f"{result.success_ratio():.3f}"],
+            ["retries", str(stats["retries"])],
+            ["rpc timeouts", str(stats["timeouts"])],
+            ["breaker rejections", str(stats["breaker_rejected"])],
+        ]
     print(format_table(["metric", "value"], rows,
                        title=f"{app.name} measurement"))
     if args.dashboard:
@@ -139,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dashboard", action="store_true",
                    help="render the full text dashboard")
+    p.add_argument("--retries", type=_nonnegative_int, default=0,
+                   help="max retries per RPC (default: no retries)")
+    p.add_argument("--rpc-timeout", type=_positive_float, default=None,
+                   help="per-RPC timeout in seconds")
+    p.add_argument("--breakers", action="store_true",
+                   help="enable per-edge circuit breakers")
 
     p = sub.add_parser("provision", help="balanced provisioning")
     p.add_argument("app", choices=app_names())

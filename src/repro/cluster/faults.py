@@ -34,6 +34,7 @@ class MachineOutage:
         self.drained: List = []
         self.frozen = False
         self.active = False
+        self._prior_slow_factor: Optional[float] = None
 
     def fail(self) -> None:
         """Remove the machine's replicas from rotation; freeze the
@@ -50,6 +51,7 @@ class MachineOutage:
         if len(self.drained) < len(self.machine.instances):
             self.frozen = True
         if self.frozen:
+            self._prior_slow_factor = self.machine.slow_factor
             self.machine.set_slow_factor(_FROZEN_FACTOR)
 
     def repair(self) -> None:
@@ -57,7 +59,11 @@ class MachineOutage:
         if not self.active:
             raise RuntimeError("machine is not failed")
         self.active = False
-        self.machine.set_slow_factor(1.0)
+        if self.frozen:
+            # Restore whatever factor the machine ran at before the
+            # outage froze it — a degraded machine stays degraded.
+            self.machine.set_slow_factor(self._prior_slow_factor)
+            self._prior_slow_factor = None
         for inst in self.drained:
             service = inst.definition.name
             self.deployment.load_balancer(service).add(inst)

@@ -6,12 +6,22 @@ call trees as simulation processes: request transfer → worker admission
 → compute → downstream groups (sequential groups of parallel calls) →
 compute → response transfer, producing a full distributed trace per
 end-to-end request.
+
+RPCs have failure semantics (see :mod:`repro.resilience`): a call can
+time out at the caller, fail at the callee (injected error rate or a
+failed downstream), be rejected fast by an open circuit breaker, or be
+cancelled once its end-to-end deadline expires.  Per-service
+:class:`~repro.resilience.ResiliencePolicy` objects configure timeouts,
+bounded retries with backoff and retry budgets, deadline propagation,
+and per-edge breakers; a front-tier :class:`~repro.resilience.LoadShedder`
+bounds admitted concurrency.  Without policies the execution path is
+byte-for-byte the historical infallible one.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
 from ..cluster.loadbalancer import KeyHash, LeastOutstanding, LoadBalancer, RoundRobin
@@ -19,6 +29,19 @@ from ..cluster.machine import ServiceInstance
 from ..cluster.placement import BinPackPlacer, SpreadPlacer
 from ..net.fabric import NetworkFabric
 from ..net.protocols import costs_for
+from ..resilience import (
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OPEN,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    CircuitBreaker,
+    LoadShedder,
+    RequestContext,
+    ResiliencePolicy,
+    RetryBudget,
+)
 from ..services.app import Application
 from ..services.calltree import CallNode
 from ..sim.engine import Environment, Process
@@ -49,7 +72,10 @@ class Deployment:
                  default_cores: int = 2,
                  lb_policy: str = "round_robin",
                  placement: str = "spread",
-                 share_machine_cpu: bool = False):
+                 share_machine_cpu: bool = False,
+                 policies: Optional[Dict[str, ResiliencePolicy]] = None,
+                 default_policy: Optional[ResiliencePolicy] = None,
+                 shedder: Optional[LoadShedder] = None):
         if lb_policy not in _LB_POLICIES:
             raise ValueError(f"unknown lb policy {lb_policy!r}")
         if placement not in ("spread", "binpack"):
@@ -90,6 +116,19 @@ class Deployment:
         #: blocking protocol — it is why a backpressured front tier
         #: *looks* CPU-saturated to a utilization autoscaler.
         self.sync_busy_wait = 0.8
+        #: Per-service probability that one RPC attempt fails after its
+        #: pre-compute (fault injection for the resilience experiments).
+        self.error_rate: Dict[str, float] = defaultdict(lambda: 0.0)
+        #: Resilience policies keyed by *callee* service; the default
+        #: applies to every service without an explicit entry.
+        self.policies: Dict[str, ResiliencePolicy] = dict(policies or {})
+        self.default_policy = default_policy
+        #: Front-tier admission control; ``None`` admits everything.
+        self.shedder = shedder
+        #: Counters for retry/timeout/breaker/shed/deadline events.
+        self.resilience_stats: Counter = Counter()
+        self._breakers: Dict[Tuple, CircuitBreaker] = {}
+        self._retry_budgets: Dict[str, RetryBudget] = {}
         self._instances: Dict[str, List[ServiceInstance]] = {}
         self._lbs: Dict[str, LoadBalancer] = {}
         self._conn_pools: Dict[tuple, Resource] = {}
@@ -182,6 +221,52 @@ class Deployment:
             raise ValueError("extra_seconds must be >= 0")
         self.extra_delay[service] = extra_seconds
 
+    def inject_error_rate(self, service: str, rate: float) -> None:
+        """Make a fraction of one tier's RPC attempts fail outright."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if service not in self.app.services:
+            raise KeyError(f"unknown service {service!r}")
+        self.error_rate[service] = rate
+
+    # -- resilience configuration ------------------------------------------
+    def set_policy(self, policy: Optional[ResiliencePolicy],
+                   service: Optional[str] = None) -> None:
+        """Install a resilience policy for one callee service, or (with
+        ``service=None``) as the default for every service."""
+        if service is None:
+            self.default_policy = policy
+            return
+        if service not in self.app.services:
+            raise KeyError(f"unknown service {service!r}")
+        if policy is None:
+            self.policies.pop(service, None)
+        else:
+            self.policies[service] = policy
+
+    def policy_for(self, service: str) -> Optional[ResiliencePolicy]:
+        """The policy callers apply to RPCs into ``service``."""
+        return self.policies.get(service, self.default_policy)
+
+    def set_shedder(self, shedder: Optional[LoadShedder]) -> None:
+        """Install (or remove) front-tier admission control."""
+        self.shedder = shedder
+
+    def breaker_for(self, caller: str, callee: str,
+                    instance_id: Optional[str] = None) -> Optional[CircuitBreaker]:
+        """The breaker guarding one call edge, if it exists yet."""
+        key = (caller, callee) if instance_id is None \
+            else (caller, callee, instance_id)
+        return self._breakers.get(key)
+
+    def breakers(self) -> Dict[Tuple, CircuitBreaker]:
+        """All instantiated breakers, keyed by edge."""
+        return dict(self._breakers)
+
+    def retry_budget_for(self, service: str) -> Optional[RetryBudget]:
+        """The shared retry budget for one callee service, if any."""
+        return self._retry_budgets.get(service)
+
     def utilization(self, service: str) -> float:
         """Mean instantaneous CPU utilization across a tier's replicas."""
         instances = self._instances[service]
@@ -217,13 +302,34 @@ class Deployment:
         return self.rng.lognormal(f"work.{node.service}", mean,
                                   definition.work_cv)
 
+    def _expired(self, ctx: Optional[RequestContext]) -> bool:
+        """Deadline check at a tier's scheduling points."""
+        return (ctx is not None and ctx.propagate
+                and ctx.expired(self.env.now))
+
+    def _abort(self, span: Span, status: str) -> Span:
+        """Finish a span in a failure state."""
+        span.status = status
+        span.end = self.env.now
+        if status == STATUS_DEADLINE:
+            self.resilience_stats["deadline_aborts"] += 1
+        return span
+
     def _run_node(self, node: CallNode, caller: Optional[ServiceInstance],
-                  operation: str, user: Optional[int]):
+                  operation: str, user: Optional[int],
+                  ctx: Optional[RequestContext] = None,
+                  inst: Optional[ServiceInstance] = None):
         definition = self.app.services[node.service]
-        key = user if node.service in self.app.sharded_services else None
-        inst = self._lbs[node.service].pick(key=key)
+        if inst is None:
+            key = user if node.service in self.app.sharded_services else None
+            inst = self._lbs[node.service].pick(key=key)
         span = Span(service=node.service, operation=operation,
                     start=self.env.now)
+        # Injected application error for this attempt (sampled only when
+        # a fault is configured, so healthy runs draw no extra RNG).
+        rate = self.error_rate[node.service]
+        will_fail = rate > 0.0 and self.rng.uniform(
+            f"error.{node.service}", 0.0, 1.0) < rate
         inst.outstanding += 1
         conn = None
         worker = None
@@ -245,6 +351,9 @@ class Deployment:
                 yield worker
                 span.block_time += self.env.now - t0
 
+            if self._expired(ctx):
+                return self._abort(span, STATUS_DEADLINE)
+
             work = self._sample_work(node, operation)
             pre = work * node.pre_fraction
             if pre > 0:
@@ -260,6 +369,15 @@ class Deployment:
                                        0.2))
                 span.app_time += self.env.now - t0
 
+            if will_fail:
+                # The error surfaces after the pre-compute: a failed
+                # request still cost the tier real CPU.
+                self.resilience_stats["errors_injected"] += 1
+                return self._abort(span, STATUS_ERROR)
+
+            if self._expired(ctx):
+                return self._abort(span, STATUS_DEADLINE)
+
             heater_stop = None
             if (node.groups and worker is not None
                     and self.costs.blocking_connections
@@ -268,31 +386,53 @@ class Deployment:
                 self.env.process(
                     self._busy_wait(inst, heater_stop),
                     name="busy-wait")
+            failed: Optional[str] = None
             try:
                 for group in node.groups:
+                    if self._expired(ctx):
+                        failed = STATUS_DEADLINE
+                        break
                     if len(group) == 1:
-                        child = yield from self._run_node(
-                            group[0], inst, operation, user)
+                        child = yield from self._dispatch(
+                            group[0], inst, operation, user, ctx)
                         span.children.append(child)
+                        if child.status != STATUS_OK:
+                            failed = child.status
+                            break
                     else:
                         procs = [
                             self.env.process(
-                                self._run_node(child, inst, operation,
-                                               user))
+                                self._dispatch(child, inst, operation,
+                                               user, ctx))
                             for child in group
                         ]
                         results = yield self.env.all_of(procs)
-                        span.children.extend(results[i]
-                                             for i in range(len(procs)))
+                        children = [results[i] for i in range(len(procs))]
+                        span.children.extend(children)
+                        bad = next((c for c in children
+                                    if c.status != STATUS_OK), None)
+                        if bad is not None:
+                            failed = bad.status
+                            break
             finally:
                 if heater_stop is not None:
                     heater_stop.succeed()
+
+            if failed is not None:
+                # A downstream call failed terminally: propagate upward
+                # (the caller's own policy may retry this whole node).
+                status = STATUS_DEADLINE if failed == STATUS_DEADLINE \
+                    else STATUS_ERROR
+                return self._abort(span, status)
 
             post = work - work * node.pre_fraction
             if post > 0:
                 t0 = self.env.now
                 yield inst.compute(post)
                 span.app_time += self.env.now - t0
+
+            if self._expired(ctx):
+                return self._abort(span, STATUS_DEADLINE)
 
             timing_resp = yield from self.fabric.transfer(
                 inst, caller, node.response_kb, self.costs)
@@ -310,6 +450,147 @@ class Deployment:
         span.end = self.env.now
         return span
 
+    # -- resilience wrapper ------------------------------------------------
+    def _dispatch(self, node: CallNode,
+                  caller: Optional[ServiceInstance], operation: str,
+                  user: Optional[int], ctx: Optional[RequestContext]):
+        """Route one call through its callee's policy (if any)."""
+        policy = self.policies.get(node.service, self.default_policy)
+        if policy is None:
+            return (yield from self._run_node(node, caller, operation,
+                                              user, ctx))
+        return (yield from self._call_with_policy(node, caller, operation,
+                                                  user, ctx, policy))
+
+    def _fast_span(self, service: str, operation: str, status: str,
+                   retries: int) -> Span:
+        """A zero-duration client-side failure (shed/open/deadline)."""
+        span = Span(service=service, operation=operation,
+                    start=self.env.now, end=self.env.now, status=status,
+                    retries=retries)
+        return span
+
+    def _breaker(self, key: Tuple, config) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.env, config)
+            self._breakers[key] = breaker
+        return breaker
+
+    def _budget_for(self, service: str,
+                    policy: ResiliencePolicy) -> Optional[RetryBudget]:
+        if policy.retry_budget_ratio is None:
+            return None
+        budget = self._retry_budgets.get(service)
+        if budget is None:
+            budget = policy.make_budget()
+            self._retry_budgets[service] = budget
+        return budget
+
+    def _admit_through_breaker(self, caller_name: str, node: CallNode,
+                               user: Optional[int],
+                               policy: ResiliencePolicy):
+        """Pick an instance (if per-instance) and consult its breaker.
+
+        Returns ``(admitted, instance, breaker)``; ``instance`` is None
+        for service-level breakers (the node picks its own replica)."""
+        service = node.service
+        cfg = policy.breaker
+        if cfg.per_instance:
+            key = user if service in self.app.sharded_services else None
+            lb = self._lbs[service]
+            inst = lb.pick(key=key)
+            breaker = self._breaker(
+                (caller_name, service, inst.instance_id), cfg)
+            if breaker.allow():
+                return True, inst, breaker
+            # Outlier ejection: the chosen replica's breaker is open —
+            # take any replica whose breaker still admits.
+            for cand in lb.instances:
+                if cand is inst:
+                    continue
+                alt = self._breaker(
+                    (caller_name, service, cand.instance_id), cfg)
+                if alt.allow():
+                    return True, cand, alt
+            return False, None, None
+        breaker = self._breaker((caller_name, service), cfg)
+        if breaker.allow():
+            return True, None, breaker
+        return False, None, None
+
+    def _call_with_policy(self, node: CallNode,
+                          caller: Optional[ServiceInstance],
+                          operation: str, user: Optional[int],
+                          ctx: Optional[RequestContext],
+                          policy: ResiliencePolicy):
+        """One logical call = up to ``1 + max_retries`` attempts, each
+        raced against the per-RPC timeout, gated by breakers and the
+        retry budget.  Always returns a span; never raises."""
+        service = node.service
+        caller_name = caller.definition.name if caller is not None \
+            else "client"
+        budget = self._budget_for(service, policy)
+        if budget is not None:
+            budget.on_request()
+        retries = 0
+        while True:
+            if ctx is not None and ctx.expired(self.env.now):
+                span = self._fast_span(service, operation,
+                                       STATUS_DEADLINE, retries)
+                self.resilience_stats["deadline_aborts"] += 1
+                return span
+            inst = None
+            breaker = None
+            if policy.breaker is not None:
+                admitted, inst, breaker = self._admit_through_breaker(
+                    caller_name, node, user, policy)
+                if not admitted:
+                    self.resilience_stats["breaker_rejected"] += 1
+                    return self._fast_span(service, operation,
+                                           STATUS_OPEN, retries)
+            start = self.env.now
+            attempt = self.env.process(
+                self._run_node(node, caller, operation, user, ctx,
+                               inst=inst),
+                name=f"rpc.{service}")
+            if policy.rpc_timeout is not None:
+                yield self.env.any_of(
+                    [attempt, self.env.timeout(policy.rpc_timeout)])
+            else:
+                yield attempt
+            if attempt.triggered:
+                span = attempt.value
+                if breaker is not None and span.status != STATUS_DEADLINE:
+                    breaker.record(span.status == STATUS_OK)
+                if span.status in (STATUS_OK, STATUS_DEADLINE):
+                    span.retries = retries
+                    return span
+            else:
+                # Client-side timeout.  The attempt is *abandoned*, not
+                # cancelled: the server keeps consuming CPU for it
+                # unless deadline propagation stops the work — the
+                # wasted-work feedback loop behind metastable failure.
+                self.resilience_stats["timeouts"] += 1
+                span = Span(service=service, operation=operation,
+                            start=start, end=self.env.now,
+                            status=STATUS_TIMEOUT)
+                if breaker is not None:
+                    breaker.record(False)
+            span.retries = retries
+            if retries >= policy.max_retries:
+                return span
+            if ctx is not None and ctx.expired(self.env.now):
+                return span
+            if budget is not None and not budget.try_retry():
+                self.resilience_stats["retry_budget_exhausted"] += 1
+                return span
+            retries += 1
+            self.resilience_stats["retries"] += 1
+            delay = policy.backoff_delay(retries, self.rng)
+            if delay > 0:
+                yield self.env.timeout(delay)
+
     def _busy_wait(self, inst: ServiceInstance, stop):
         """A synchronous worker spinning while its downstream call is
         outstanding: burn ``sync_busy_wait`` of a core in small quanta
@@ -322,18 +603,48 @@ class Deployment:
                 break
             yield self.env.timeout(quantum * (1.0 - frac))
 
-    def _run_operation(self, op_name: str, user: Optional[int]):
+    def _run_operation(self, op_name: str, user: Optional[int],
+                       collect: bool = True):
         op = self.app.operations[op_name]
-        root_span = yield from self._run_node(op.root, None, op_name, user)
-        trace = Trace(operation=op_name, root=root_span, user=user)
-        self.collector.collect(trace)
-        return trace
+        entry_service = op.root.service
+        if self.shedder is not None and not self.shedder.try_admit():
+            # Admission control at the front tier: reject in O(1)
+            # before the request consumes any cluster resources.
+            self.resilience_stats["shed"] += 1
+            span = self._fast_span(entry_service, op_name, STATUS_SHED, 0)
+            trace = Trace(operation=op_name, root=span, user=user)
+            if collect:
+                self.collector.collect(trace)
+            return trace
+        try:
+            ctx = None
+            entry_policy = self.policies.get(entry_service,
+                                             self.default_policy)
+            if entry_policy is not None and entry_policy.deadline \
+                    is not None:
+                ctx = RequestContext(
+                    deadline=self.env.now + entry_policy.deadline,
+                    propagate=entry_policy.propagate_deadline)
+            root_span = yield from self._dispatch(op.root, None, op_name,
+                                                  user, ctx)
+            trace = Trace(operation=op_name, root=root_span, user=user)
+            if collect:
+                self.collector.collect(trace)
+            return trace
+        finally:
+            if self.shedder is not None:
+                self.shedder.release()
 
-    def execute(self, op_name: str,
-                user: Optional[int] = None) -> Process:
+    def execute(self, op_name: str, user: Optional[int] = None,
+                collect: bool = True) -> Process:
         """Launch one end-to-end request; the returned process event's
-        value is the finished :class:`~repro.tracing.span.Trace`."""
+        value is the finished :class:`~repro.tracing.span.Trace`.
+
+        ``collect=False`` skips the trace collector — used by callers
+        that do their own accounting (e.g. hedged requests, where only
+        the winning attempt should count)."""
         if op_name not in self.app.operations:
             raise KeyError(f"unknown operation {op_name!r}")
-        return self.env.process(self._run_operation(op_name, user),
+        return self.env.process(self._run_operation(op_name, user,
+                                                    collect),
                                 name=f"{self.app.name}.{op_name}")

@@ -73,6 +73,14 @@ class ExperimentResult:
             return 0.0
         return self.collector.total_collected / self.generator.issued
 
+    def success_ratio(self) -> float:
+        """Successful completions / issued.  With a resilience policy
+        in place requests can finish fast-but-failed (timeout, open
+        breaker, shed); this is the end-to-end availability number."""
+        if self.generator.issued == 0:
+            return 0.0
+        return self.collector.ok_count / self.generator.issued
+
     def goodput(self, qos_latency: Optional[float] = None,
                 p: float = 0.99,
                 min_completion: float = 0.9) -> float:
@@ -167,8 +175,14 @@ def simulate(app: Application,
              freq_ghz: Optional[float] = None,
              edge_machines: int = 0,
              edge_platform: Optional[Platform] = None,
+             policies: Optional[Dict[str, object]] = None,
+             default_policy: Optional[object] = None,
+             shedder: Optional[object] = None,
              **kwargs) -> ExperimentResult:
-    """One-call convenience: build env + cluster + deployment and run."""
+    """One-call convenience: build env + cluster + deployment and run.
+
+    ``policies``/``default_policy``/``shedder`` pass resilience
+    configuration (:mod:`repro.resilience`) through to the deployment."""
     env = Environment()
     cluster = Cluster.homogeneous(env, platform, n_machines)
     if edge_machines > 0:
@@ -180,6 +194,8 @@ def simulate(app: Application,
     if freq_ghz is not None:
         cluster.set_frequency(freq_ghz)
     deployment = Deployment(env, app, cluster, replicas=replicas,
-                            cores=cores, seed=seed)
+                            cores=cores, seed=seed, policies=policies,
+                            default_policy=default_policy,
+                            shedder=shedder)
     return run_experiment(deployment, qps, duration, seed=seed + 1,
                           **kwargs)

@@ -1,0 +1,55 @@
+"""Resilience layer: deadlines, retries, circuit breakers, shedding.
+
+The paper's Sec. 6 headline results show how a microservice graph
+amplifies one tier's degradation into suite-wide QoS collapse.  The
+dominant real-world amplifier of that collapse — and the mitigation
+stack that contains it — is traffic-management policy:
+
+* per-RPC **timeouts** so a caller stops waiting on a sick tier;
+* bounded **retries** with exponential backoff and jitter, throttled by
+  a **retry budget** (unbounded retries turn a brownout into a retry
+  storm — the metastable-failure regime);
+* end-to-end **deadline propagation** so a request that has already
+  blown its QoS stops consuming downstream CPU;
+* per-edge **circuit breakers** (closed/open/half-open on a rolling
+  error rate) that fail fast instead of queueing on a dead tier;
+* front-tier **load shedding** so the system serves fewer requests
+  well rather than all requests badly.
+
+:mod:`repro.core.deployment` consumes these policies in its RPC
+execution path; :mod:`repro.tracing` records the outcomes (span status,
+retry counts); ``benchmarks/bench_ablation_resilience.py`` measures the
+goodput consequences under the Fig. 19/22 fault scenarios.
+"""
+
+from .breaker import BreakerConfig, CircuitBreaker
+from .context import RequestContext
+from .policy import ResiliencePolicy, RetryBudget
+from .shedder import LoadShedder
+from .status import (
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OPEN,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    STATUSES,
+    is_failure,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "LoadShedder",
+    "RequestContext",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "STATUS_DEADLINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_OPEN",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
+    "STATUSES",
+    "is_failure",
+]

@@ -1,0 +1,125 @@
+"""Per-edge circuit breakers.
+
+A breaker watches the rolling outcome window of one call edge (caller
+service → callee service, optionally per callee instance) and trips
+**open** when the recent error rate crosses a threshold: further calls
+fail fast instead of queueing behind a dead or drowning tier.  After a
+cool-down the breaker goes **half-open** and admits a limited number of
+probe calls; a successful probe closes it, a failed probe re-opens it.
+
+Failing fast is what turns a graph-wide latency collapse back into a
+partial outage: callers stop parking worker threads and connection
+slots on the sick edge, so traffic that does not need it keeps flowing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`."""
+
+    #: Rolling window length, in call outcomes.
+    window: int = 20
+    #: Minimum outcomes in the window before the breaker may trip
+    #: (avoids tripping on the first failure of a cold edge).
+    min_volume: int = 10
+    #: Error rate in the window at which the breaker opens.
+    failure_threshold: float = 0.5
+    #: Seconds to stay open before probing (half-open).
+    reset_timeout: float = 1.0
+    #: Concurrent probe calls admitted while half-open.
+    half_open_probes: int = 1
+    #: Track outcomes per callee *instance* instead of per callee
+    #: service: outlier ejection for a single slow replica (Fig. 22c).
+    per_instance: bool = False
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_volume < 1:
+            raise ValueError("min_volume must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """Closed/open/half-open state machine over a rolling error rate."""
+
+    def __init__(self, env, config: BreakerConfig = None):
+        self.env = env
+        self.config = config or BreakerConfig()
+        self._outcomes = deque(maxlen=self.config.window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opened_count = 0
+        self.rejected = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for cool-down expiry."""
+        if self._state == OPEN and self.env.now - self._opened_at \
+                >= self.config.reset_timeout:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+        return self._state
+
+    def error_rate(self) -> float:
+        """Failure fraction of the rolling window."""
+        if not self._outcomes:
+            return 0.0
+        return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    def allow(self) -> bool:
+        """May a call proceed on this edge right now?
+
+        Half-open admits up to ``half_open_probes`` concurrent probes;
+        every refusal is counted in :attr:`rejected`."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._probes_in_flight < self.config.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+        self.rejected += 1
+        return False
+
+    def record(self, ok: bool) -> None:
+        """Feed one call outcome into the window and transition."""
+        state = self.state
+        if state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if ok:
+                # Probe succeeded: close and start a fresh window.
+                self._state = CLOSED
+                self._outcomes.clear()
+                self._outcomes.append(True)
+            else:
+                self._trip()
+            return
+        self._outcomes.append(ok)
+        if state == CLOSED \
+                and len(self._outcomes) >= self.config.min_volume \
+                and self.error_rate() >= self.config.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.env.now
+        self.opened_count += 1
+        self._outcomes.clear()

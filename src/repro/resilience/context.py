@@ -1,0 +1,45 @@
+"""Per-request context carried down the call tree.
+
+The context exists for one purpose today: **deadline propagation**.  A
+request admitted with an end-to-end deadline carries the absolute
+expiry time into every downstream RPC; each tier checks the deadline at
+its scheduling points (before compute segments, before downstream
+groups) and aborts instead of burning CPU on a response nobody will
+wait for.  This is the difference between a retry storm that feeds on
+abandoned work and one that starves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RequestContext"]
+
+
+@dataclass
+class RequestContext:
+    """State shared by every RPC of one end-to-end request."""
+
+    #: Absolute simulation time after which the request is worthless
+    #: (``None`` = no deadline).
+    deadline: Optional[float] = None
+    #: When False, only the client-side retry wrapper honours the
+    #: deadline; tiers keep computing for abandoned requests (the
+    #: wasted-work regime the full policy exists to prevent).
+    propagate: bool = True
+    #: Set when any party cancels the request outright (reserved for
+    #: future cancellation fan-out; deadline expiry does not set it).
+    cancelled: bool = False
+
+    def expired(self, now: float) -> bool:
+        """True once the request is past its deadline (or cancelled)."""
+        if self.cancelled:
+            return True
+        return self.deadline is not None and now >= self.deadline
+
+    def remaining(self, now: float) -> float:
+        """Seconds of budget left (``inf`` without a deadline)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now

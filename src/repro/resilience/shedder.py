@@ -1,0 +1,54 @@
+"""Front-tier admission control (load shedding).
+
+An overloaded open-loop system does not throttle its clients; the only
+way to keep *served* requests fast is to refuse some at the door.  The
+shedder bounds the number of end-to-end requests resident in the
+deployment: beyond the limit, new arrivals are rejected immediately
+with status ``shed``.  Concurrency is the right admission signal — by
+Little's law a concurrency cap is a latency cap at any given service
+rate, so the bound tracks overload wherever it comes from (slow tiers,
+retry storms, misrouting) without per-cause tuning.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LoadShedder"]
+
+
+class LoadShedder:
+    """Bound concurrent in-flight requests at the deployment entry."""
+
+    def __init__(self, max_concurrent: int):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def try_admit(self) -> bool:
+        """Admit one request, or shed it."""
+        if self.in_flight >= self.max_concurrent:
+            self.shed += 1
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        """One admitted request left the system."""
+        if self.in_flight <= 0:
+            raise RuntimeError("release without a matching admit")
+        self.in_flight -= 1
+
+    @property
+    def shed_fraction(self) -> float:
+        """Share of offered requests refused admission."""
+        total = self.admitted + self.shed
+        return self.shed / total if total else 0.0
+
+    def set_limit(self, max_concurrent: int) -> None:
+        """Adjust the concurrency bound (operator intervention)."""
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent

@@ -1,0 +1,43 @@
+"""Request/span outcome vocabulary.
+
+Every RPC (and every end-to-end request) finishes in exactly one of
+these states; the tracing layer stores the state on the span and the
+collector aggregates counts per state.  Only ``ok`` completions feed
+the latency recorders — a fast-failed request is not a served request,
+and letting its near-zero "latency" into the percentile stream would
+make a melting system look healthy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_ERROR",
+    "STATUS_DEADLINE",
+    "STATUS_OPEN",
+    "STATUS_SHED",
+    "STATUSES",
+    "is_failure",
+]
+
+#: The RPC completed and returned a useful response.
+STATUS_OK = "ok"
+#: The caller gave up waiting (per-attempt RPC timeout fired).
+STATUS_TIMEOUT = "timeout"
+#: The callee failed — its own fault or an upstream-propagated one.
+STATUS_ERROR = "error"
+#: The request's end-to-end deadline expired; work was cancelled.
+STATUS_DEADLINE = "deadline"
+#: The call was rejected fast by an open circuit breaker.
+STATUS_OPEN = "open"
+#: The request was refused admission by the front-tier load shedder.
+STATUS_SHED = "shed"
+
+STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_ERROR, STATUS_DEADLINE,
+            STATUS_OPEN, STATUS_SHED)
+
+
+def is_failure(status: str) -> bool:
+    """True for every terminal state other than ``ok``."""
+    return status != STATUS_OK

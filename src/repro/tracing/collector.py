@@ -5,11 +5,18 @@ Cassandra: every finished end-to-end request deposits its trace here;
 per-service latency recorders are maintained incrementally so the
 cluster-management experiments can read per-tier tail latency over time
 without re-walking every trace.
+
+With the resilience layer, requests can finish in states other than
+``ok`` (timeout, error, deadline, open, shed).  Failed traces are kept
+and counted per status, but **only successful completions feed the
+latency recorders**: a request that was shed in 50 microseconds was not
+served, and letting it into the percentile stream would make a melting
+system look fast.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Dict, List, Optional
 
 from ..stats.percentiles import LatencyRecorder
@@ -28,22 +35,55 @@ class TraceCollector:
         self.warmup = warmup
         self.traces: List[Trace] = []
         self.total_collected = 0
+        #: Completions per terminal status (``ok``, ``timeout``, ...).
+        self.status_counts: Counter = Counter()
+        #: Total retries observed across all collected traces.
+        self.total_retries = 0
         self.end_to_end = LatencyRecorder(warmup=warmup)
         self.per_service: Dict[str, LatencyRecorder] = defaultdict(
             lambda: LatencyRecorder(warmup=warmup))
         self.per_operation: Dict[str, LatencyRecorder] = defaultdict(
             lambda: LatencyRecorder(warmup=warmup))
 
-    def collect(self, trace: Trace) -> None:
-        """Record one finished end-to-end request."""
+    def collect(self, trace: Trace,
+                latency_override: Optional[float] = None) -> None:
+        """Record one finished end-to-end request.
+
+        ``latency_override`` substitutes the client-visible latency for
+        the trace's own duration in the end-to-end/per-operation
+        recorders — hedged requests report the *first* completion even
+        when the winning attempt started late."""
         self.total_collected += 1
+        self.status_counts[trace.status] += 1
+        self.total_retries += trace.retry_count()
         if len(self.traces) < self.keep_traces:
             self.traces.append(trace)
+        if trace.status != "ok":
+            # Failed/shed requests are counted, not timed: their spans
+            # still feed per-service recorders when they individually
+            # succeeded (real server-side latencies).
+            for span in trace.root.walk():
+                if span.ok and span.duration > 0:
+                    self.per_service[span.service].record(span.end,
+                                                          span.duration)
+            return
         finish = trace.root.end
-        self.end_to_end.record(finish, trace.latency)
-        self.per_operation[trace.operation].record(finish, trace.latency)
+        latency = trace.latency if latency_override is None \
+            else latency_override
+        self.end_to_end.record(finish, latency)
+        self.per_operation[trace.operation].record(finish, latency)
         for span in trace.root.walk():
             self.per_service[span.service].record(span.end, span.duration)
+
+    @property
+    def ok_count(self) -> int:
+        """Successful end-to-end completions."""
+        return self.status_counts["ok"]
+
+    @property
+    def failure_count(self) -> int:
+        """Unsuccessful completions (any non-``ok`` status)."""
+        return self.total_collected - self.status_counts["ok"]
 
     def service_tail(self, service: str, p: float = 0.99,
                      start: Optional[float] = None,
@@ -58,7 +98,7 @@ class TraceCollector:
 
     def throughput(self, start: Optional[float] = None,
                    end: Optional[float] = None) -> float:
-        """Completed end-to-end requests per second."""
+        """Successfully completed end-to-end requests per second."""
         return self.end_to_end.throughput(start, end)
 
     def services(self) -> List[str]:

@@ -38,6 +38,8 @@ def span_records(trace: Trace, trace_id: int) -> List[dict]:
                 "net_us": round(span.net_time * 1e6),
                 "net_process_us": round(span.net_process_time * 1e6),
                 "block_us": round(span.block_time * 1e6),
+                "status": span.status,
+                "retries": span.retries,
                 "user": trace.user,
             },
         })
@@ -68,6 +70,8 @@ def _build_span(record: dict) -> Span:
         net_time=tags.get("net_us", 0) / 1e6,
         net_process_time=tags.get("net_process_us", 0) / 1e6,
         block_time=tags.get("block_us", 0) / 1e6,
+        status=tags.get("status", "ok"),
+        retries=tags.get("retries", 0),
     )
 
 

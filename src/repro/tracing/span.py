@@ -36,7 +36,19 @@ class Span:
     net_process_time: float = 0.0
     #: Wall time queued for a worker slot / blocked on a connection.
     block_time: float = 0.0
+    #: Terminal state of the RPC: ``ok``, ``timeout``, ``error``,
+    #: ``deadline``, ``open`` (circuit breaker), or ``shed`` (see
+    #: :mod:`repro.resilience.status`).
+    status: str = "ok"
+    #: Retries the *caller* spent on this call before this outcome
+    #: (0 = first attempt succeeded or no retry policy).
+    retries: int = 0
     children: List["Span"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the RPC completed successfully."""
+        return self.status == "ok"
 
     @property
     def duration(self) -> float:
@@ -81,6 +93,20 @@ class Trace:
     def latency(self) -> float:
         """End-to-end latency in seconds."""
         return self.root.duration
+
+    @property
+    def status(self) -> str:
+        """Terminal state of the end-to-end request (the root's)."""
+        return self.root.status
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed successfully."""
+        return self.root.status == "ok"
+
+    def retry_count(self) -> int:
+        """Total retries spent anywhere in this request's call tree."""
+        return sum(span.retries for span in self.root.walk())
 
     @property
     def start(self) -> float:

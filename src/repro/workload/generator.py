@@ -54,12 +54,12 @@ class OpenLoopGenerator:
         #: Tail-at-scale countermeasure (Dean & Barroso): if set, a
         #: duplicate request is issued after ``hedge_after`` seconds
         #: and the first completion wins; the client-visible latency is
-        #: the minimum of the two.  Hedged completions are recorded in
-        #: :attr:`hedged_latencies` instead of the deployment collector.
+        #: the minimum of the two.  The winning attempt's trace lands in
+        #: the deployment collector like any other completion, with the
+        #: hedged client latency substituted in.
         self.hedge_after = hedge_after
         if hedge_after is not None and hedge_after <= 0:
             raise ValueError("hedge_after must be > 0")
-        self.hedged_latencies = []
         self.hedges_issued = 0
         self.hedge_wins = 0
         self.issued = 0
@@ -113,19 +113,22 @@ class OpenLoopGenerator:
 
     def _hedged(self, op: str, user):
         """Issue the request; duplicate it if it outlives the hedge
-        delay; record the first completion as the client latency."""
+        delay; collect only the first completion, under the client
+        latency (which starts at the *primary* send)."""
         start = self.env.now
-        primary = self.deployment.execute(op, user=user)
+        primary = self.deployment.execute(op, user=user, collect=False)
         timer = self.env.timeout(self.hedge_after)
         yield self.env.any_of([primary, timer])
+        winner = primary
         if not primary.processed:
             self.hedges_issued += 1
-            backup = self.deployment.execute(op, user=user)
+            backup = self.deployment.execute(op, user=user, collect=False)
             yield self.env.any_of([primary, backup])
             if not primary.processed:
                 self.hedge_wins += 1
-        self.hedged_latencies.append((self.env.now,
-                                      self.env.now - start))
+                winner = backup
+        self.deployment.collector.collect(
+            winner.value, latency_override=self.env.now - start)
         self.in_flight -= 1
 
     def _finished(self, event) -> None:

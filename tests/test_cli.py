@@ -33,6 +33,16 @@ def test_simulate_command(capsys):
     assert "p99" in out
 
 
+def test_simulate_resilience_flags(capsys):
+    assert main(["simulate", "banking", "--qps", "20",
+                 "--duration", "4", "--machines", "3",
+                 "--retries", "2", "--rpc-timeout", "0.05",
+                 "--breakers"]) == 0
+    out = capsys.readouterr().out
+    assert "success ratio" in out
+    assert "breaker rejections" in out
+
+
 def test_provision_command(capsys):
     assert main(["provision", "social_network", "--qps", "500"]) == 0
     out = capsys.readouterr().out

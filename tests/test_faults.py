@@ -64,6 +64,56 @@ def test_double_fail_rejected():
         outage.repair()
 
 
+def test_repair_before_fail_rejected():
+    env, cluster, deployment = build()
+    outage = MachineOutage(env, deployment, cluster.machines[0])
+    with pytest.raises(RuntimeError):
+        outage.repair()
+
+
+def test_freeze_restores_original_slow_factor():
+    """A machine already degraded before the outage must come back at
+    its degraded speed, not get silently healed by repair()."""
+    env, cluster, deployment = build()
+    victim = deployment.instances_of("cache")[0].machine
+    victim.set_slow_factor(0.5)
+    outage = MachineOutage(env, deployment, victim)
+    outage.fail()
+    assert outage.frozen
+    assert victim.slow_factor < 0.1
+    outage.repair()
+    assert victim.slow_factor == 0.5
+
+
+def test_repair_leaves_unfrozen_machine_untouched():
+    """Draining (no freeze) must not touch the machine's speed."""
+    env, cluster, deployment = build()
+    machines = {inst.machine for inst in deployment.instances_of("web")}
+    machines -= {deployment.instances_of("cache")[0].machine}
+    victim = next(iter(machines))
+    victim.set_slow_factor(0.7)
+    outage = MachineOutage(env, deployment, victim)
+    outage.fail()
+    assert not outage.frozen
+    assert victim.slow_factor == 0.7
+    outage.repair()
+    assert victim.slow_factor == 0.7
+
+
+def test_drained_instances_rejoin_lb():
+    env, cluster, deployment = build()
+    victim = deployment.instances_of("web")[0].machine
+    lb = deployment.load_balancer("web")
+    before = set(lb.instances)
+    outage = MachineOutage(env, deployment, victim)
+    outage.fail()
+    assert set(lb.instances) < before
+    outage.repair()
+    # The exact same instance objects return to rotation.
+    assert set(lb.instances) == before
+    assert outage.drained == []
+
+
 def test_scheduled_outage_degrades_then_recovers():
     env, cluster, deployment = build()
     victim = deployment.instances_of("web")[0].machine

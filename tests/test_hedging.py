@@ -47,25 +47,28 @@ def test_hedging_validation():
 
 
 def test_hedged_latencies_recorded():
-    gen, _ = run(hedge_after=5e-3)
-    assert len(gen.hedged_latencies) > 1000
+    gen, deployment = run(hedge_after=5e-3)
+    # Winning attempts land in the standard collector, one per request.
+    assert len(deployment.collector.end_to_end.samples()) > 1000
+    assert deployment.collector.total_collected == \
+        len(deployment.collector.end_to_end.samples())
     assert gen.hedges_issued > 0
     assert gen.hedge_wins <= gen.hedges_issued
 
 
 def test_hedging_cuts_the_tail():
-    hedged, _ = run(hedge_after=4e-3)
-    plain, _ = run(hedge_after=1e6)  # hedge never fires
+    _, hedged = run(hedge_after=4e-3)
+    _, plain = run(hedge_after=1e6)  # hedge never fires
     tail_hedged = float(np.quantile(
-        [v for _, v in hedged.hedged_latencies], 0.99))
+        hedged.collector.end_to_end.samples(), 0.99))
     tail_plain = float(np.quantile(
-        [v for _, v in plain.hedged_latencies], 0.99))
+        plain.collector.end_to_end.samples(), 0.99))
     assert tail_hedged < tail_plain
     # ...without inflating the median.
     med_hedged = float(np.quantile(
-        [v for _, v in hedged.hedged_latencies], 0.5))
+        hedged.collector.end_to_end.samples(), 0.5))
     med_plain = float(np.quantile(
-        [v for _, v in plain.hedged_latencies], 0.5))
+        plain.collector.end_to_end.samples(), 0.5))
     assert med_hedged == pytest.approx(med_plain, rel=0.3)
 
 

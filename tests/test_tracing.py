@@ -77,6 +77,70 @@ def test_collector_trace_cap():
     assert collector.total_collected == 5
 
 
+def make_failed_trace(status="timeout", retries=2):
+    """front [0,5] fails; its cache child [1,2] succeeded server-side."""
+    cache = Span(service="cache", operation="op", start=1.0, end=2.0)
+    front = Span(service="front", operation="op", start=0.0, end=5.0,
+                 status=status, retries=retries, children=[cache])
+    return Trace(operation="op", root=front)
+
+
+def test_span_status_defaults_ok():
+    span = Span(service="a", operation="op", start=0.0, end=1.0)
+    assert span.status == "ok" and span.ok
+    trace = make_trace()
+    assert trace.status == "ok" and trace.ok
+    assert trace.retry_count() == 0
+
+
+def test_trace_status_and_retry_count():
+    trace = make_failed_trace(status="error", retries=3)
+    assert trace.status == "error"
+    assert not trace.ok
+    trace.root.children[0].retries = 1
+    assert trace.retry_count() == 4
+
+
+def test_collector_counts_statuses():
+    collector = TraceCollector()
+    collector.collect(make_trace())
+    collector.collect(make_failed_trace(status="timeout"))
+    collector.collect(make_failed_trace(status="shed", retries=0))
+    assert collector.total_collected == 3
+    assert collector.ok_count == 1
+    assert collector.failure_count == 2
+    assert collector.status_counts["timeout"] == 1
+    assert collector.status_counts["shed"] == 1
+    assert collector.total_retries == 2
+
+
+def test_collector_failed_traces_not_timed():
+    collector = TraceCollector()
+    collector.collect(make_failed_trace())
+    # Failed requests stay out of the end-to-end latency stream...
+    assert len(collector.end_to_end.samples()) == 0
+    # ...but their individually-successful spans still time their tier.
+    assert len(collector.per_service["cache"].samples()) == 1
+    assert len(collector.per_service["front"].samples()) == 0
+
+
+def test_collector_latency_override():
+    collector = TraceCollector()
+    collector.collect(make_trace(), latency_override=3.5)
+    assert collector.end_to_end.samples()[0] == pytest.approx(3.5)
+
+
+def test_export_round_trips_status_and_retries():
+    from repro.tracing.export import traces_from_json, traces_to_json
+    original = [make_trace(), make_failed_trace(status="deadline",
+                                                retries=1)]
+    rebuilt = traces_from_json(traces_to_json(original))
+    assert rebuilt[0].status == "ok"
+    assert rebuilt[1].status == "deadline"
+    assert rebuilt[1].root.retries == 1
+    assert rebuilt[1].retry_count() == 1
+
+
 def test_network_share():
     traces = [make_trace()]
     # net = 1 + 0.5 + 1 = 2.5; app = 1.5 + 1 + 2 + 4 = 8.5.
