@@ -1,0 +1,46 @@
+"""Simulation-safety static analysis (``simlint``) and topology validation.
+
+A discrete-event simulation is only as trustworthy as its determinism:
+every figure this repo reproduces assumes that the same seed yields the
+same event sequence, and that every service graph fed to the deployment
+layer is structurally sound.  This package enforces both *before* a
+single event is simulated:
+
+* :mod:`repro.analysis_static.simlint` — an AST-based checker over the
+  source tree that flags determinism and sim-time hazards (rule codes
+  ``SIM001``-``SIM005``; per-line ``# simlint: disable=SIM00x``
+  suppressions).
+* :mod:`repro.analysis_static.topology` — a static validator over
+  application service graphs (rule codes ``TOPO001``-``TOPO005``):
+  call-graph cycles, dangling references, unreachable services,
+  non-positive capacities/rates, and retry policies whose worst-case
+  amplification exceeds their retry budget.
+
+Run it as ``python -m repro.analysis_static [paths]`` or via the main
+CLI as ``repro lint``; the app registry also runs the topology
+validator at construction time so a malformed graph fails fast with a
+readable report instead of a runtime ``KeyError`` deep in the
+deployment layer.
+"""
+
+from .rules import ALL_RULES, Finding, Severity
+from .simlint import lint_file, lint_paths, lint_source
+from .topology import (
+    TopologyError,
+    check_registry,
+    validate_app,
+    validate_topology,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Severity",
+    "TopologyError",
+    "check_registry",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "validate_app",
+    "validate_topology",
+]

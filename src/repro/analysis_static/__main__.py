@@ -1,0 +1,8 @@
+"""``python -m repro.analysis_static`` — run the static-analysis pass."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Entry point: ``python -m repro.analysis_static`` / ``repro lint``.
+
+With no arguments it lints the installed ``repro`` package and
+validates every registered application graph.  Pass explicit paths to
+lint a subtree or fixture instead.  Exit status is 0 when no
+error-severity findings exist, 1 otherwise — which is what the CI
+``lint`` job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .report import exit_code, explain_rules, format_json, format_text
+from .rules import ALL_RULES, Finding
+from .simlint import _iter_python_files, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis_static",
+        description="simulation-safety static analysis "
+                    "(simlint + topology validation)")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to report exclusively")
+    parser.add_argument(
+        "--ignore", metavar="CODES", default=None,
+        help="comma-separated rule codes to drop from the report")
+    parser.add_argument(
+        "--no-apps", action="store_true",
+        help="skip topology validation of the registered applications")
+    parser.add_argument(
+        "--apps-only", action="store_true",
+        help="only validate the registered application graphs")
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the rule table and exit")
+    return parser
+
+
+def _parse_codes(raw: Optional[str],
+                 parser: argparse.ArgumentParser) -> Optional[set]:
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",")
+             if code.strip()}
+    unknown = codes - set(ALL_RULES)
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return codes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.explain:
+        print(explain_rules())
+        return 0
+    if args.apps_only and args.no_apps:
+        parser.error("--apps-only and --no-apps are mutually exclusive")
+    if args.apps_only and args.paths:
+        parser.error("--apps-only takes no paths")
+
+    select = _parse_codes(args.select, parser)
+    ignore = _parse_codes(args.ignore, parser)
+
+    findings: List[Finding] = []
+    files_checked = 0
+    apps_checked = 0
+
+    if not args.apps_only:
+        paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+        try:
+            files_checked = len(_iter_python_files(paths))
+            findings.extend(lint_paths(paths))
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"simlint: {exc}")
+            return 2
+
+    if not args.no_apps:
+        # Lazy import: validating apps builds them, which pulls in the
+        # whole services layer; plain file linting should not.
+        from .topology import check_registry
+        per_app = check_registry()
+        apps_checked = len(per_app)
+        for app_findings in per_app.values():
+            findings.extend(app_findings)
+
+    if select is not None:
+        findings = [f for f in findings if f.code in select]
+    if ignore is not None:
+        findings = [f for f in findings if f.code not in ignore]
+
+    if args.format == "json":
+        print(format_json(findings, files_checked, apps_checked))
+    else:
+        print(format_text(findings, files_checked, apps_checked))
+    return exit_code(findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(main())

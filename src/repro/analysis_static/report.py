@@ -1,0 +1,78 @@
+"""Rendering of analysis findings: text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .rules import ALL_RULES, Finding, Severity
+
+__all__ = ["format_text", "format_json", "exit_code", "explain_rules"]
+
+
+def format_text(findings: Sequence[Finding],
+                files_checked: int = 0,
+                apps_checked: int = 0) -> str:
+    """One line per finding plus a summary trailer."""
+    lines = [f.format() for f in sorted(findings, key=Finding.sort_key)]
+    errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+    warnings = len(findings) - errors
+    scope = []
+    if files_checked:
+        scope.append(f"{files_checked} file(s)")
+    if apps_checked:
+        scope.append(f"{apps_checked} app graph(s)")
+    scanned = " and ".join(scope) or "nothing"
+    if not findings:
+        lines.append(f"simlint: checked {scanned}, no findings")
+    else:
+        lines.append(f"simlint: checked {scanned}: {errors} error(s), "
+                     f"{warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding],
+                files_checked: int = 0,
+                apps_checked: int = 0) -> str:
+    """Stable machine-readable report (sorted findings + summary)."""
+    payload: Dict[str, object] = {
+        "findings": [
+            {
+                "code": f.code,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+        "summary": {
+            "files_checked": files_checked,
+            "apps_checked": apps_checked,
+            "errors": sum(1 for f in findings
+                          if f.severity == Severity.ERROR),
+            "warnings": sum(1 for f in findings
+                            if f.severity == Severity.WARNING),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """1 when any error-severity finding exists, else 0."""
+    return 1 if any(f.severity == Severity.ERROR for f in findings) else 0
+
+
+def explain_rules() -> str:
+    """Human-readable rule table (``--explain``)."""
+    lines = []
+    for code in sorted(ALL_RULES):
+        summary, hint = ALL_RULES[code]
+        lines.append(f"{code}: {summary}")
+        lines.append(f"    fix: {hint}")
+    lines.append("")
+    lines.append("suppress a source finding with "
+                 "'# simlint: disable=SIM00x[,SIM00y]' or "
+                 "'# simlint: disable=all' on the flagged line")
+    return "\n".join(lines)

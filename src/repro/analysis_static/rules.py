@@ -1,0 +1,164 @@
+"""Rule registry, findings, and suppression handling.
+
+Every check in this package — the AST linter and the topology
+validator alike — reports :class:`Finding` objects tagged with a rule
+code.  ``SIM00x`` codes come from :mod:`.simlint` (source-level
+determinism hazards); ``TOPO00x`` codes come from :mod:`.topology`
+(service-graph structure).  The shared vocabulary keeps the CLI,
+the CI job, and the test fixtures on one format.
+
+Suppressions
+------------
+A finding on a line carrying ``# simlint: disable=SIM001`` (or a
+comma-separated list, or ``disable=all``) is dropped.  Suppressions are
+per-line and per-code by design: a blanket file-level opt-out would
+defeat the point of the pass.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Severity",
+    "parse_suppressions",
+    "filter_suppressed",
+]
+
+
+class Severity:
+    """Finding severities; only errors fail the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+
+#: Rule code -> (one-line summary, generic fix hint).  The summaries
+#: double as documentation: ``repro lint --explain`` prints this table.
+ALL_RULES: Dict[str, tuple] = {
+    "SIM001": (
+        "direct use of the global random module (or numpy.random) "
+        "instead of an injected repro.sim.rng stream",
+        "draw from a named RandomStreams stream so runs are seeded and "
+        "components stay independent",
+    ),
+    "SIM002": (
+        "wall-clock time read inside a simulation path",
+        "use env.now (simulated seconds); wall-clock reads make results "
+        "depend on host speed",
+    ),
+    "SIM003": (
+        "iteration over an unordered set (order varies with "
+        "PYTHONHASHSEED) on a simulation path",
+        "wrap the iterable in sorted(...) or keep an insertion-ordered "
+        "dict/list instead",
+    ),
+    "SIM004": (
+        "mutable default argument or mutable class-level state",
+        "default to None and allocate inside the function, or use "
+        "dataclasses.field(default_factory=...)",
+    ),
+    "SIM005": (
+        "float equality comparison on simulated time",
+        "compare with a tolerance, or restructure so exact equality is "
+        "guaranteed (e.g. an inf sentinel) and suppress explicitly",
+    ),
+    "TOPO001": (
+        "cycle in the service call graph",
+        "break the cycle; the analytic and provisioning models assume "
+        "a DAG of service dependencies",
+    ),
+    "TOPO002": (
+        "reference to an undefined service",
+        "define the service or fix the name in the call tree / "
+        "entry / sharding / zone configuration",
+    ),
+    "TOPO003": (
+        "service defined but unreachable from every operation",
+        "remove the definition or call it from an operation; dead "
+        "tiers still get provisioned and skew per-service tables",
+    ),
+    "TOPO004": (
+        "non-positive capacity, rate, or weight",
+        "capacities (max_workers), operation weights, and QoS targets "
+        "must be positive to be meaningful",
+    ),
+    "TOPO005": (
+        "worst-case retry amplification exceeds the retry budget",
+        "lower max_retries along the chain or raise "
+        "retry_budget_ratio; unbudgeted retries storm under overload",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pointing at a file line or an app graph."""
+
+    code: str
+    message: str
+    path: str
+    line: int = 0
+    severity: str = Severity.ERROR
+    hint: str = ""
+
+    def __post_init__(self):
+        if self.code not in ALL_RULES:
+            raise ValueError(f"unknown rule code {self.code!r}")
+        if self.severity not in Severity.ALL:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if not self.hint:
+            object.__setattr__(self, "hint", ALL_RULES[self.code][1])
+
+    def format(self) -> str:
+        """``path:line: CODE message (hint: ...)`` — the CLI text line."""
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: {self.code} {self.message} (hint: {self.hint})"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code)
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+#: Sentinel meaning "every code suppressed on this line".
+_ALL: FrozenSet[str] = frozenset(["all"])
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of codes disabled there."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        raw = match.group(1).strip()
+        if raw.lower() == "all":
+            out[lineno] = _ALL
+        else:
+            out[lineno] = frozenset(
+                code.strip().upper() for code in raw.split(",")
+                if code.strip())
+    return out
+
+
+def filter_suppressed(findings: Sequence[Finding],
+                      suppressions: Dict[int, FrozenSet[str]]
+                      ) -> List[Finding]:
+    """Drop findings whose line carries a matching suppression."""
+    kept = []
+    for finding in findings:
+        disabled = suppressions.get(finding.line)
+        if disabled is not None and (disabled is _ALL
+                                     or "all" in disabled
+                                     or finding.code in disabled):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,391 @@
+"""``simlint``: AST-based simulation-safety linting.
+
+Walks Python source with the stdlib :mod:`ast` module (no third-party
+dependency) and flags patterns that silently break the two properties
+every experiment in this repo depends on — *determinism under a seed*
+and *simulated-time discipline*:
+
+``SIM001``
+    Calls on the process-global :mod:`random` module (``random.random()``,
+    ``random.choice()``, ...), any ``numpy.random`` call, or an unseeded
+    ``random.Random()``.  All randomness must flow through the named,
+    seed-derived streams of :class:`repro.sim.rng.RandomStreams`, so a
+    new draw in one component never shifts the draws of another.
+``SIM002``
+    Wall-clock reads (``time.time``, ``time.monotonic``,
+    ``datetime.now``, ``time.sleep``, ...) inside simulation paths.
+    Simulated components must read ``env.now``; a wall-clock read makes
+    results depend on host speed and breaks replay.
+``SIM003``
+    Iteration over an unordered ``set`` (literal, comprehension,
+    ``set()``/``frozenset()`` call, set-algebra method, or ``.keys()``
+    chains used where a canonical order matters).  Set iteration order
+    varies with ``PYTHONHASHSEED``, so anything it feeds — event
+    scheduling, placement, exported tables — diverges between runs.
+``SIM004``
+    Mutable default arguments anywhere, and mutable literals as
+    class-level state on simulation paths: both are process-global
+    state shared across supposedly independent experiment runs.
+``SIM005``
+    ``==``/``!=`` on simulated-time values (identifiers matching
+    ``now``/``*time*``/``deadline``/``*_at``).  Simulated timestamps
+    are accumulated floats; exact equality is only safe for sentinels
+    (``float("inf")``) and must then be suppressed explicitly.
+
+Scope: SIM002 and the class-state half of SIM004 apply only to
+*simulation packages* (``sim``, ``core``, ``cluster``, ``resilience``,
+``workload``, ``services``, ``apps``, ``net``, ``serverless``,
+``tracing``).  Offline analysis packages (``stats``, ``arch``,
+``analytic``, and this package) may legitimately touch wall-clock.
+Files outside the ``repro`` package — e.g. test fixtures — are
+conservatively treated as simulation code.
+
+Suppress a finding by appending ``# simlint: disable=SIM00x`` (comma
+separated, or ``=all``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .rules import Finding, filter_suppressed, parse_suppressions
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "is_sim_path"]
+
+#: repro subpackages that are *not* simulation paths: pure math /
+#: post-processing / this linter.  Everything else (and every file not
+#: under ``repro`` at all) gets the full rule set.
+_NON_SIM_PACKAGES = frozenset(
+    {"stats", "arch", "analytic", "analysis_static"})
+
+#: random-module functions that draw from (or reseed) the process-global
+#: generator.  ``random.Random(seed)`` with arguments is *allowed*: a
+#: locally seeded generator is deterministic.
+_GLOBAL_DRAWS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "binomialvariate", "seed",
+})
+
+#: Fully-qualified wall-clock reads (plus real sleeping) banned on sim
+#: paths by SIM002.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Builtins whose call materializes iteration order (SIM003 applies to
+#: their argument just as to a ``for`` target).
+_ORDER_SENSITIVE_WRAPPERS = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter", "next"})
+
+#: Set-algebra methods returning new sets.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"})
+
+#: Constructor calls that build mutable containers (SIM004).
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "Counter", "OrderedDict",
+     "deque"})
+
+#: Identifiers treated as simulated-time values by SIM005.
+_TIME_NAMES = frozenset({"now", "deadline"})
+
+
+def is_sim_path(path: str) -> bool:
+    """True when SIM002/SIM004-class rules apply to ``path``.
+
+    Classification keys off the last ``repro`` component in the path;
+    paths with no ``repro`` component (fixtures, scratch files) are
+    treated as simulation code — the conservative default.
+    """
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rest = parts[i + 1:]
+            return not (rest and rest[0] in _NON_SIM_PACKAGES)
+    return True
+
+
+def _is_time_like(name: str) -> bool:
+    low = name.lower()
+    return ("time" in low or low in _TIME_NAMES
+            or low.endswith("_at") or low.endswith("_ts"))
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Identifier a compare operand answers to (``a.b.now`` -> ``now``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ImportTracker:
+    """Resolve dotted call targets through import aliases.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so that
+    ``np.random.rand`` resolves to ``numpy.random.rand`` and a bare
+    ``choice(...)`` after ``from random import choice`` resolves to
+    ``random.choice``.
+    """
+
+    def __init__(self):
+        self._aliases: Dict[str, str] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or not node.module:
+            return  # relative imports never hit stdlib random/time
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self._aliases[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}")
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain with aliases expanded."""
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id, node.id)
+        chain.append(base)
+        return ".".join(reversed(chain))
+
+
+class _SimLintVisitor(ast.NodeVisitor):
+    """One pass over a module AST collecting SIM00x findings."""
+
+    def __init__(self, path: str, sim_path: bool):
+        self.path = path
+        self.sim_path = sim_path
+        self.findings: List[Finding] = []
+        self.imports = _ImportTracker()
+
+    # -- helpers --------------------------------------------------------
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            code=code, message=message, path=self.path,
+            line=getattr(node, "lineno", 0)))
+
+    def _is_setish(self, node: ast.AST) -> bool:
+        """Syntactically evident unordered-set expression."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and \
+                    func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SET_METHODS and \
+                        self._is_setish(func.value):
+                    return True
+                # d.keys() order is insertion order (deterministic for
+                # a deterministically-built dict) but chained off a set
+                # it inherits the hazard: set(...).keys() cannot occur,
+                # while {...}.copy().keys() can — keep the direct form
+                # out of scope and flag explicit set sources only.
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            return self._is_setish(node.left) or self._is_setish(node.right)
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_setish(iter_node):
+            self._flag(
+                "SIM003", iter_node,
+                "iteration order over a set depends on PYTHONHASHSEED")
+
+    def _is_mutable_literal(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id in _MUTABLE_CTORS:
+            return True
+        return False
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- SIM001 / SIM002: calls ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        if resolved is not None:
+            self._check_call(node, resolved)
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _ORDER_SENSITIVE_WRAPPERS and node.args:
+            self._check_iteration(node.args[0])
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, resolved: str) -> None:
+        parts = resolved.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _GLOBAL_DRAWS:
+                self._flag(
+                    "SIM001", node,
+                    f"call to global random.{parts[1]}() bypasses the "
+                    "seeded stream registry")
+            elif parts[1] == "Random" and not node.args \
+                    and not node.keywords:
+                self._flag(
+                    "SIM001", node,
+                    "unseeded random.Random() seeds from the OS and is "
+                    "not reproducible")
+        elif resolved.startswith("numpy.random.") or \
+                resolved == "numpy.random":
+            self._flag(
+                "SIM001", node,
+                f"call to {resolved}() bypasses the seeded stream "
+                "registry")
+        elif self.sim_path and resolved in _WALL_CLOCK:
+            self._flag(
+                "SIM002", node,
+                f"wall-clock call {resolved}() in a simulation path")
+
+    # -- SIM003: iteration ---------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- SIM004: mutable defaults and class state ----------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                self._flag(
+                    "SIM004", default,
+                    "mutable default argument is shared across calls "
+                    "and runs")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.sim_path:
+            for stmt in node.body:
+                target = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name):
+                    target, value = stmt.targets[0].id, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name) and \
+                        stmt.value is not None:
+                    target, value = stmt.target.id, stmt.value
+                if target is None or target == "__slots__":
+                    continue
+                if self._is_mutable_literal(value):
+                    self._flag(
+                        "SIM004", stmt,
+                        f"class attribute {target!r} holds mutable state "
+                        "shared by every instance and experiment run")
+        self.generic_visit(node)
+
+    # -- SIM005: float == on simulated time ----------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        eq_ops = [op for op in node.ops
+                  if isinstance(op, (ast.Eq, ast.NotEq))]
+        if eq_ops and not any(
+                isinstance(o, ast.Constant) and o.value is None
+                for o in operands):
+            for operand in operands:
+                name = _terminal_name(operand)
+                if name is not None and _is_time_like(name):
+                    self._flag(
+                        "SIM005", node,
+                        f"float equality on time-like value {name!r}")
+                    break
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                sim_path: Optional[bool] = None) -> List[Finding]:
+    """Lint one source string; honours inline suppressions."""
+    if sim_path is None:
+        sim_path = is_sim_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise ValueError(f"{path}: cannot lint, syntax error at line "
+                         f"{exc.lineno}: {exc.msg}") from exc
+    visitor = _SimLintVisitor(path, sim_path)
+    visitor.visit(tree)
+    findings = filter_suppressed(visitor.findings,
+                                 parse_suppressions(source))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: str) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path=path)
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            out.extend(str(f) for f in sorted(p.rglob("*.py"))
+                       if "__pycache__" not in f.parts)
+        elif p.suffix == ".py":
+            out.append(str(p))
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    return sorted(findings, key=Finding.sort_key)

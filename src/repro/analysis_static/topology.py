@@ -1,0 +1,301 @@
+"""Static validation of application service graphs.
+
+Where :mod:`.simlint` checks *source*, this module checks *structure*:
+the service definitions and call trees an :class:`~repro.services.app.
+Application` is built from.  A malformed graph used to surface as a
+runtime ``KeyError`` or a silently wrong figure deep inside the
+deployment layer; here it fails fast with a rule code and a readable
+message:
+
+``TOPO001``
+    Cycle in the derived service call graph (``a`` calls ``b`` calls
+    ``a``, across any operations).  The provisioning and analytic
+    queueing models both assume a DAG of inter-service demands.
+``TOPO002``
+    Dangling reference: a call-tree node, entry service, sharded
+    service, or zone entry naming a service that is not defined.
+``TOPO003``
+    Unreachable service: defined but never called by any operation.
+    Dead tiers still get provisioned, billed, and reported.
+``TOPO004``
+    Non-positive capacity or rate: ``max_workers <= 0``, negative
+    work/payloads, negative operation weights, an all-zero mix, or a
+    non-positive QoS target.
+``TOPO005``
+    Retry amplification: with resilience policies attached, the
+    worst case number of attempts reaching a service is the product of
+    ``(1 + max_retries)`` along its call chain.  If that exceeds what
+    the policy's retry budget sustains (``1 + retry_budget_ratio``) —
+    or retries are configured with no budget at all — the graph is
+    primed for the retry storms PR 1's experiments demonstrate.
+
+The validator is duck-typed on purpose: it accepts real
+``ServiceDefinition``/``Operation`` objects or plain stand-ins, so
+malformed fixtures that ``Application.__post_init__`` would reject can
+still be checked (and so the checker itself never constructs sim
+objects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .rules import Finding, Severity
+
+__all__ = [
+    "TopologyError",
+    "validate_topology",
+    "validate_app",
+    "check_registry",
+]
+
+#: Tolerance for the amplification-vs-budget comparison: a worst case
+#: within one part in a million of the budget is not a storm.
+_BUDGET_EPS = 1e-6
+
+
+class TopologyError(ValueError):
+    """Raised when an application graph fails static validation.
+
+    Carries the findings so callers can render or filter them; the
+    string form is the full formatted report.
+    """
+
+    def __init__(self, app_name: str, findings: Sequence[Finding]):
+        self.app_name = app_name
+        self.findings = list(findings)
+        lines = "\n".join(f"  {f.format()}" for f in self.findings)
+        super().__init__(
+            f"application {app_name!r} failed topology validation "
+            f"({len(self.findings)} finding(s)):\n{lines}")
+
+
+def _walk(node) -> Iterable:
+    """Preorder walk of a call tree without calling its methods."""
+    yield node
+    for group in getattr(node, "groups", []) or []:
+        for child in group:
+            yield from _walk(child)
+
+
+def _edges(operations: Mapping[str, object]) -> List[Tuple[str, str, str]]:
+    """(caller, callee, operation) for every parent->child call."""
+    out: List[Tuple[str, str, str]] = []
+    for op_name, op in operations.items():
+        for node in _walk(op.root):
+            for group in getattr(node, "groups", []) or []:
+                for child in group:
+                    out.append((node.service, child.service, op_name))
+    return out
+
+
+def _find_cycle(adjacency: Mapping[str, Sequence[str]]) -> Optional[List[str]]:
+    """One cycle as a node list (closed: first == last), or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    stack: List[str] = []
+
+    def dfs(node: str) -> Optional[List[str]]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in adjacency.get(node, ()):
+            if color.get(succ, WHITE) == GREY:
+                return stack[stack.index(succ):] + [succ]
+            if color.get(succ, WHITE) == WHITE:
+                found = dfs(succ)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for start in adjacency:
+        if color[start] == WHITE:
+            found = dfs(start)
+            if found is not None:
+                return found
+    return None
+
+
+def validate_topology(services: Mapping[str, object],
+                      operations: Mapping[str, object],
+                      *,
+                      entry_service: Optional[str] = None,
+                      sharded_services: Sequence[str] = (),
+                      service_zones: Optional[Mapping[str, str]] = None,
+                      policies: Optional[Mapping[str, object]] = None,
+                      default_policy: Optional[object] = None,
+                      app_name: str = "app") -> List[Finding]:
+    """Validate one service graph; returns findings (empty = valid)."""
+    findings: List[Finding] = []
+
+    def err(code: str, message: str,
+            severity: str = Severity.ERROR) -> None:
+        findings.append(Finding(code=code, message=message,
+                                path=app_name, severity=severity))
+
+    # -- TOPO002: dangling references -----------------------------------
+    for op_name, op in operations.items():
+        for node in _walk(op.root):
+            if node.service not in services:
+                err("TOPO002",
+                    f"operation {op_name!r} calls undefined service "
+                    f"{node.service!r}")
+    if entry_service is not None and entry_service not in services:
+        err("TOPO002", f"entry service {entry_service!r} is undefined")
+    for name in sharded_services:
+        if name not in services:
+            err("TOPO002", f"sharded service {name!r} is undefined")
+    for name in (service_zones or {}):
+        if name not in services:
+            err("TOPO002", f"zoned service {name!r} is undefined")
+
+    # -- TOPO001: call-graph cycles -------------------------------------
+    edges = _edges(operations)
+    adjacency: Dict[str, List[str]] = {name: [] for name in services}
+    for caller, callee, _op in edges:
+        adjacency.setdefault(caller, [])
+        adjacency.setdefault(callee, [])
+        if callee not in adjacency[caller]:
+            adjacency[caller].append(callee)
+    cycle = _find_cycle(adjacency)
+    if cycle is not None:
+        err("TOPO001",
+            "service call graph has a cycle: " + " -> ".join(cycle))
+
+    # -- TOPO003: unreachable services ----------------------------------
+    called = {node.service for op in operations.values()
+              for node in _walk(op.root)}
+    for name in services:
+        if name not in called:
+            err("TOPO003",
+                f"service {name!r} is not reached by any operation")
+
+    # -- TOPO004: non-positive capacities and rates ---------------------
+    for name, svc in services.items():
+        work_mean = getattr(svc, "work_mean", 0.0)
+        if work_mean is not None and work_mean < 0:
+            err("TOPO004", f"service {name!r} has negative work_mean "
+                f"{work_mean!r}")
+        max_workers = getattr(svc, "max_workers", None)
+        if max_workers is not None and max_workers <= 0:
+            err("TOPO004", f"service {name!r} has non-positive "
+                f"max_workers {max_workers!r}")
+    total_weight = 0.0
+    for op_name, op in operations.items():
+        weight = getattr(op, "weight", 1.0)
+        if weight < 0:
+            err("TOPO004",
+                f"operation {op_name!r} has negative weight {weight!r}")
+        else:
+            total_weight += weight
+        for node in _walk(op.root):
+            if getattr(node, "work_scale", 1.0) < 0:
+                err("TOPO004",
+                    f"operation {op_name!r} scales {node.service!r} by a "
+                    f"negative factor")
+            if getattr(node, "request_kb", 0.0) < 0 or \
+                    getattr(node, "response_kb", 0.0) < 0:
+                err("TOPO004",
+                    f"operation {op_name!r} has a negative payload size "
+                    f"at {node.service!r}")
+    if operations and total_weight <= 0:
+        err("TOPO004", "every operation weight is zero: the request mix "
+            "is undefined")
+
+    # -- TOPO005: retry amplification vs. budget ------------------------
+    if policies or default_policy is not None:
+        findings.extend(_check_retry_amplification(
+            operations, policies or {}, default_policy, app_name))
+
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _check_retry_amplification(operations: Mapping[str, object],
+                               policies: Mapping[str, object],
+                               default_policy: Optional[object],
+                               app_name: str) -> List[Finding]:
+    """Worst-case attempt multiplication along every call chain.
+
+    If every caller on the chain retries ``r`` times, one end-to-end
+    request can issue ``prod(1 + r_i)`` attempts against the leaf — the
+    compounding that turns a brown-out into a storm (Fig. 19 analogue).
+    Each service's budget sustains ``1 + ratio`` attempts per request
+    *it* receives, and upstream retries arrive as fresh deposits, so
+    the sustained capacity along a chain compounds the same way:
+    ``prod(1 + ratio_i)``.  Any chain whose worst-case product exceeds
+    its compounded budget is flagged; retries with no budget at all are
+    always flagged.
+    """
+    findings: List[Finding] = []
+    reported = set()
+
+    def policy_for(service: str):
+        return policies.get(service, default_policy)
+
+    def err(code: str, key, message: str) -> None:
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(Finding(code=code, message=message, path=app_name))
+
+    def descend(node, amplification: float, allowed: float,
+                op_name: str) -> None:
+        for group in getattr(node, "groups", []) or []:
+            for child in group:
+                policy = policy_for(child.service)
+                retries = getattr(policy, "max_retries", 0) if policy else 0
+                ratio = getattr(policy, "retry_budget_ratio", None) \
+                    if policy else None
+                child_amp = amplification * (1 + retries)
+                child_allowed = allowed if ratio is None \
+                    else allowed * (1.0 + ratio)
+                if retries > 0 and ratio is None:
+                    err("TOPO005", ("unbudgeted", child.service),
+                        f"service {child.service!r} is retried "
+                        f"(max_retries={retries}) with no retry budget")
+                elif ratio is not None and \
+                        child_amp > child_allowed + _BUDGET_EPS:
+                    err("TOPO005",
+                        ("over-budget", op_name, child.service),
+                        f"operation {op_name!r}: worst-case "
+                        f"{child_amp:g} attempts reach "
+                        f"{child.service!r} but its retry budget "
+                        f"sustains only {child_allowed:g}")
+                descend(child, child_amp, child_allowed, op_name)
+
+    # The root call comes from the external client, whose retries are
+    # not modeled — amplification starts at 1 and compounds per edge.
+    for op_name, op in operations.items():
+        descend(op.root, 1.0, 1.0, op_name)
+    return findings
+
+
+def validate_app(app, policies: Optional[Mapping[str, object]] = None,
+                 default_policy: Optional[object] = None) -> List[Finding]:
+    """Validate a built :class:`~repro.services.app.Application`."""
+    findings = validate_topology(
+        app.services, app.operations,
+        entry_service=app.entry_service,
+        sharded_services=app.sharded_services,
+        service_zones=app.service_zones,
+        policies=policies, default_policy=default_policy,
+        app_name=app.name)
+    if app.qos_latency <= 0:
+        findings.append(Finding(
+            code="TOPO004", path=app.name,
+            message=f"non-positive QoS latency target "
+                    f"{app.qos_latency!r}"))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def check_registry() -> Dict[str, List[Finding]]:
+    """Validate every registered application; name -> findings."""
+    # Imported lazily: the registry itself imports this module to
+    # validate apps at build time.
+    from ..apps.registry import APP_BUILDERS
+
+    results: Dict[str, List[Finding]] = {}
+    for name, builder in APP_BUILDERS.items():
+        results[name] = validate_app(builder())
+    return results

@@ -1,9 +1,18 @@
-"""Application registry: the six end-to-end services plus monoliths."""
+"""Application registry: the six end-to-end services plus monoliths.
+
+Every graph handed out by :func:`build_app` is statically validated by
+:mod:`repro.analysis_static.topology` first, so a malformed call tree
+(cycle, dangling downstream, dead tier, zero capacity) fails at
+registration with a rule-coded report instead of a runtime ``KeyError``
+deep inside the deployment layer.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..analysis_static.rules import Severity
+from ..analysis_static.topology import TopologyError, validate_app
 from ..services.app import Application
 from ..services.monolith import monolithify
 from .banking import build_banking
@@ -29,15 +38,27 @@ def app_names() -> List[str]:
     return list(APP_BUILDERS.keys())
 
 
+#: Builders already known to produce a structurally valid graph, so
+#: repeated build_app calls (sweeps, tests) validate only once.
+_VALIDATED: Dict[str, bool] = {}
+
+
 def build_app(name: str) -> Application:
-    """Construct an application by name."""
+    """Construct an application by name, validating its topology."""
     try:
         builder = APP_BUILDERS[name]
     except KeyError:
         raise ValueError(
             f"unknown application {name!r}; choose from {app_names()}"
         ) from None
-    return builder()
+    app = builder()
+    if not _VALIDATED.get(name):
+        errors = [f for f in validate_app(app)
+                  if f.severity == Severity.ERROR]
+        if errors:
+            raise TopologyError(name, errors)
+        _VALIDATED[name] = True
+    return app
 
 
 def build_monolith(name: str) -> Application:

@@ -15,6 +15,10 @@ Commands
 ``dot APP``
     Emit the microservice dependency graph in Graphviz DOT format
     (the Fig. 4-8 diagrams).
+``lint [PATHS]``
+    Run the simulation-safety static analysis (``simlint`` rule codes
+    SIM001-SIM005) and the topology validator over the registered
+    application graphs (TOPO001-TOPO005); non-zero exit on findings.
 """
 
 from __future__ import annotations
@@ -158,6 +162,16 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis_static.cli import main as lint_main
+    forwarded = list(args.paths)
+    if args.json:
+        forwarded += ["--format", "json"]
+    if args.explain:
+        forwarded.append("--explain")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="dependency graph in DOT format")
     p.add_argument("app", choices=app_names())
 
+    p = sub.add_parser(
+        "lint", help="simulation-safety static analysis")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint "
+                        "(default: the repro package)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--explain", action="store_true",
+                   help="print the rule table and exit")
+
     return parser
 
 
@@ -207,6 +231,7 @@ _COMMANDS = {
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,
     "dot": _cmd_dot,
+    "lint": _cmd_lint,
 }
 
 

@@ -135,7 +135,7 @@ class Deployment:
         placer_cls = SpreadPlacer if placement == "spread" \
             else BinPackPlacer
         self._placers = {}
-        for zone in {self.app.zone_of(s) for s in app.services}:
+        for zone in sorted({self.app.zone_of(s) for s in app.services}):
             machines = cluster.zone(zone)
             if machines:
                 self._placers[zone] = placer_cls(machines)

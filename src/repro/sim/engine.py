@@ -395,7 +395,9 @@ class Environment:
             raise SimulationError(f"run(until={until}) is in the past")
         while True:
             next_time = self.peek()
-            if next_time == float("inf"):
+            # Exact compare is safe: peek() returns the inf sentinel
+            # itself, never an accumulated float near it.
+            if next_time == float("inf"):  # simlint: disable=SIM005
                 break
             if until is not None and next_time > until:
                 break

@@ -94,7 +94,8 @@ def critical_path_services(traces: Iterable[Trace]) -> Dict[str, float]:
     count = 0
     for trace in traces:
         count += 1
-        for service in {span.service for span in trace.critical_path()}:
+        for service in sorted({span.service
+                               for span in trace.critical_path()}):
             hits[service] += 1
     if count == 0:
         raise ValueError("no traces")

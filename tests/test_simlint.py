@@ -1,0 +1,345 @@
+"""Tests for the simlint AST rules (SIM001-SIM005) and the CLI."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis_static import lint_source
+from repro.analysis_static.cli import main as lint_main
+from repro.analysis_static.rules import (
+    ALL_RULES,
+    Finding,
+    parse_suppressions,
+)
+from repro.analysis_static.simlint import is_sim_path
+
+
+def lint(snippet, path="fixtures/sim_code.py"):
+    return lint_source(textwrap.dedent(snippet), path=path)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------- SIM001
+class TestSim001GlobalRandom:
+    def test_global_random_draw_flagged(self):
+        findings = lint("""
+            import random
+            x = random.random()
+        """)
+        assert codes(findings) == ["SIM001"]
+        assert findings[0].line == 3
+
+    def test_aliased_import_and_from_import_flagged(self):
+        findings = lint("""
+            import random as rnd
+            from random import choice
+            a = rnd.randint(0, 10)
+            b = choice([1, 2])
+        """)
+        assert codes(findings) == ["SIM001", "SIM001"]
+
+    def test_numpy_random_flagged(self):
+        findings = lint("""
+            import numpy as np
+            x = np.random.rand(4)
+            np.random.seed(0)
+        """)
+        assert codes(findings) == ["SIM001", "SIM001"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert codes(lint("""
+            import random
+            rng = random.Random()
+        """)) == ["SIM001"]
+
+    def test_seeded_random_instance_allowed(self):
+        assert lint("""
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """) == []
+
+    def test_stream_registry_usage_allowed(self):
+        assert lint("""
+            def service_time(streams):
+                return streams.exponential("svc.compute", 1e-3)
+        """) == []
+
+
+# ---------------------------------------------------------------- SIM002
+class TestSim002WallClock:
+    def test_time_time_flagged_on_sim_path(self):
+        findings = lint("""
+            import time
+            def stamp():
+                return time.time()
+        """, path="src/repro/sim/clock.py")
+        assert codes(findings) == ["SIM002"]
+
+    def test_datetime_now_and_sleep_flagged(self):
+        findings = lint("""
+            import time
+            from datetime import datetime
+            def f():
+                time.sleep(0.1)
+                return datetime.now()
+        """)
+        assert codes(findings) == ["SIM002", "SIM002"]
+
+    def test_monotonic_flagged_via_from_import(self):
+        assert codes(lint("""
+            from time import monotonic
+            t = monotonic()
+        """)) == ["SIM002"]
+
+    def test_wall_clock_allowed_outside_sim_paths(self):
+        snippet = """
+            import time
+            t = time.time()
+        """
+        assert lint(snippet, path="src/repro/stats/bench.py") == []
+        assert lint(snippet, path="src/repro/arch/calibrate.py") == []
+
+    def test_env_now_allowed(self):
+        assert lint("""
+            def f(env):
+                return env.now
+        """) == []
+
+
+# ---------------------------------------------------------------- SIM003
+class TestSim003SetIteration:
+    def test_for_over_set_call_flagged(self):
+        assert codes(lint("""
+            def f(names):
+                for n in set(names):
+                    print(n)
+        """)) == ["SIM003"]
+
+    def test_set_comprehension_iteration_flagged(self):
+        assert codes(lint("""
+            def f(spans):
+                for s in {x.service for x in spans}:
+                    print(s)
+        """)) == ["SIM003"]
+
+    def test_set_literal_in_comprehension_flagged(self):
+        assert codes(lint("""
+            out = [x for x in {1, 2, 3}]
+        """)) == ["SIM003"]
+
+    def test_list_of_set_union_flagged(self):
+        assert codes(lint("""
+            def f(a, b):
+                return list(set(a).union(b))
+        """)) == ["SIM003"]
+
+    def test_sorted_set_allowed(self):
+        assert lint("""
+            def f(names):
+                for n in sorted(set(names)):
+                    print(n)
+        """) == []
+
+    def test_set_membership_allowed(self):
+        assert lint("""
+            def f(names, x):
+                backends = set(names)
+                return x in backends
+        """) == []
+
+
+# ---------------------------------------------------------------- SIM004
+class TestSim004MutableState:
+    def test_mutable_default_argument_flagged(self):
+        assert codes(lint("""
+            def f(items=[]):
+                return items
+        """)) == ["SIM004"]
+
+    def test_dict_and_ctor_defaults_flagged(self):
+        findings = lint("""
+            def f(a={}, b=list(), c=None):
+                return a, b, c
+        """)
+        assert codes(findings) == ["SIM004", "SIM004"]
+
+    def test_class_level_mutable_state_flagged_on_sim_path(self):
+        assert codes(lint("""
+            class Scheduler:
+                pending = []
+        """)) == ["SIM004"]
+
+    def test_class_constants_and_slots_allowed(self):
+        assert lint("""
+            class Kind:
+                ALL = ("a", "b")
+                __slots__ = ["x"]
+        """) == []
+
+    def test_dataclass_field_factory_allowed(self):
+        assert lint("""
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Node:
+                children: list = field(default_factory=list)
+        """) == []
+
+
+# ---------------------------------------------------------------- SIM005
+class TestSim005TimeEquality:
+    def test_eq_on_now_flagged(self):
+        assert codes(lint("""
+            def f(env, t):
+                return env.now == t
+        """)) == ["SIM005"]
+
+    def test_neq_on_time_variable_flagged(self):
+        assert codes(lint("""
+            def f(next_time, limit):
+                return next_time != limit
+        """)) == ["SIM005"]
+
+    def test_deadline_eq_flagged(self):
+        assert codes(lint("""
+            def f(req):
+                return req.deadline == 0.0
+        """)) == ["SIM005"]
+
+    def test_ordering_comparisons_allowed(self):
+        assert lint("""
+            def f(env, deadline):
+                return env.now >= deadline
+        """) == []
+
+    def test_non_time_identifiers_allowed(self):
+        assert lint("""
+            def f(status, state):
+                return status == "timeout" and state == "open"
+        """) == []
+
+    def test_none_comparison_allowed(self):
+        assert lint("""
+            def f(deadline):
+                return deadline == None
+        """) == []
+
+
+# ----------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_single_code_suppression(self):
+        assert lint("""
+            import random
+            x = random.random()  # simlint: disable=SIM001
+        """) == []
+
+    def test_suppression_is_code_specific(self):
+        findings = lint("""
+            import random
+            x = random.random()  # simlint: disable=SIM002
+        """)
+        assert codes(findings) == ["SIM001"]
+
+    def test_multi_code_and_all_suppression(self):
+        assert lint("""
+            import time
+            import random
+            a = random.random()  # simlint: disable=SIM001,SIM002
+            b = time.time()  # simlint: disable=all
+        """) == []
+
+    def test_parse_suppressions(self):
+        sup = parse_suppressions(
+            "x = 1\ny = 2  # simlint: disable=SIM001, SIM003\n")
+        assert sup == {2: frozenset({"SIM001", "SIM003"})}
+
+
+# ------------------------------------------------------------------ misc
+class TestInfrastructure:
+    def test_is_sim_path_classification(self):
+        assert is_sim_path("src/repro/sim/engine.py")
+        assert is_sim_path("src/repro/cluster/machine.py")
+        assert is_sim_path("/tmp/fixture.py")
+        assert not is_sim_path("src/repro/stats/tables.py")
+        assert not is_sim_path("src/repro/analysis_static/simlint.py")
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(ValueError, match="syntax error"):
+            lint_source("def f(:\n", path="bad.py")
+
+    def test_finding_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            Finding(code="SIM999", message="x", path="y")
+
+    def test_every_rule_documented(self):
+        for code, (summary, hint) in ALL_RULES.items():
+            assert summary and hint, code
+
+    def test_shipped_tree_is_clean(self):
+        repro_root = Path(__file__).resolve().parents[1] / "src" / "repro"
+        assert lint_main([str(repro_root), "--no-apps"]) == 0
+
+
+# ------------------------------------------------------------------- CLI
+class TestCli:
+    def write_violation(self, tmp_path):
+        bad = tmp_path / "bad_sim.py"
+        bad.write_text(textwrap.dedent("""
+            import random
+            import time
+
+            def jitter():
+                time.sleep(0.1)
+                return random.random()
+        """))
+        return bad
+
+    def test_nonzero_exit_and_location_on_violations(self, tmp_path, capsys):
+        bad = self.write_violation(tmp_path)
+        assert lint_main([str(bad), "--no-apps"]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:6: SIM002" in out
+        assert f"{bad}:7: SIM001" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = self.write_violation(tmp_path)
+        assert lint_main([str(bad), "--no-apps", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 2
+        assert {f["code"] for f in payload["findings"]} == \
+            {"SIM001", "SIM002"}
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        bad = self.write_violation(tmp_path)
+        assert lint_main([str(bad), "--no-apps",
+                          "--select", "SIM002"]) == 1
+        assert lint_main([str(bad), "--no-apps",
+                          "--ignore", "SIM001,SIM002"]) == 0
+        capsys.readouterr()
+
+    def test_clean_fixture_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good_sim.py"
+        good.write_text("def f(streams):\n"
+                        "    return streams.uniform('a', 0.0, 1.0)\n")
+        assert lint_main([str(good), "--no-apps"]) == 0
+        capsys.readouterr()
+
+    def test_module_entry_point_on_fixture(self, tmp_path):
+        """`python -m repro.analysis_static FIXTURE` exits non-zero."""
+        bad = self.write_violation(tmp_path)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis_static",
+             str(bad), "--no-apps"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        assert "SIM001" in proc.stdout

@@ -1,0 +1,215 @@
+"""Tests for the static topology validator (TOPO001-TOPO005)."""
+
+import pytest
+
+from repro.analysis_static import (
+    TopologyError,
+    check_registry,
+    validate_app,
+    validate_topology,
+)
+from repro.apps import registry
+from repro.apps.registry import APP_BUILDERS, build_app
+from repro.resilience import ResiliencePolicy
+from repro.services.app import Application, Operation
+from repro.services.calltree import CallNode, seq
+from repro.services.definition import ServiceDefinition
+
+
+def svc(name, **kwargs):
+    return ServiceDefinition(name=name, work_mean=100e-6, **kwargs)
+
+
+def op(name, root, weight=1.0):
+    return Operation(name=name, root=root, weight=weight)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def two_tier():
+    """frontend -> backend, the minimal valid graph."""
+    services = {"frontend": svc("frontend"), "backend": svc("backend")}
+    root = CallNode(service="frontend",
+                    groups=seq(CallNode(service="backend")))
+    return services, {"ping": op("ping", root)}
+
+
+class TestCycles:
+    def test_cycle_across_operations_rejected(self):
+        services = {"a": svc("a"), "b": svc("b")}
+        operations = {
+            "forward": op("forward", CallNode(
+                service="a", groups=seq(CallNode(service="b")))),
+            "backward": op("backward", CallNode(
+                service="b", groups=seq(CallNode(service="a")))),
+        }
+        findings = validate_topology(services, operations)
+        assert "TOPO001" in codes(findings)
+        [cycle] = [f for f in findings if f.code == "TOPO001"]
+        assert "->" in cycle.message
+
+    def test_self_call_rejected(self):
+        services = {"a": svc("a")}
+        operations = {"loop": op("loop", CallNode(
+            service="a", groups=seq(CallNode(service="a"))))}
+        assert "TOPO001" in codes(validate_topology(services, operations))
+
+    def test_cyclic_application_rejected_via_validate_app(self):
+        """Application accepts the graph (names resolve); the static
+        validator is what catches the cycle."""
+        services = {"a": svc("a"), "b": svc("b")}
+        operations = {
+            "forward": op("forward", CallNode(
+                service="a", groups=seq(CallNode(service="b")))),
+            "backward": op("backward", CallNode(
+                service="b", groups=seq(CallNode(service="a")))),
+        }
+        app = Application(name="cyclic", services=services,
+                          operations=operations)
+        assert "TOPO001" in codes(validate_app(app))
+
+    def test_diamond_fanout_is_not_a_cycle(self):
+        services = {n: svc(n) for n in ("a", "b", "c", "d")}
+        root = CallNode(service="a", groups=[
+            [CallNode(service="b", groups=seq(CallNode(service="d"))),
+             CallNode(service="c", groups=seq(CallNode(service="d")))],
+        ])
+        findings = validate_topology(services, {"diamond": op("d", root)})
+        assert "TOPO001" not in codes(findings)
+
+
+class TestDanglingReferences:
+    def test_undefined_downstream_rejected(self):
+        services = {"frontend": svc("frontend")}
+        operations = {"ping": op("ping", CallNode(
+            service="frontend", groups=seq(CallNode(service="ghost"))))}
+        findings = validate_topology(services, operations)
+        assert "TOPO002" in codes(findings)
+        [f] = [f for f in findings if f.code == "TOPO002"]
+        assert "ghost" in f.message
+
+    def test_undefined_entry_sharded_and_zoned_rejected(self):
+        services, operations = two_tier()
+        findings = validate_topology(
+            services, operations, entry_service="nope",
+            sharded_services=["missing"], service_zones={"gone": "edge"})
+        assert codes(findings).count("TOPO002") == 3
+
+
+class TestReachabilityAndRates:
+    def test_unreachable_service_rejected(self):
+        services, operations = two_tier()
+        services["orphan"] = svc("orphan")
+        findings = validate_topology(services, operations)
+        assert "TOPO003" in codes(findings)
+
+    def test_zero_capacity_rejected(self):
+        class Stub:
+            work_mean = 100e-6
+            max_workers = 0
+        services, operations = two_tier()
+        services["backend"] = Stub()
+        findings = validate_topology(services, operations)
+        assert "TOPO004" in codes(findings)
+
+    def test_all_zero_mix_rejected(self):
+        services, operations = two_tier()
+        operations["ping"].weight = 0.0
+        findings = validate_topology(services, operations)
+        assert "TOPO004" in codes(findings)
+
+    def test_valid_graph_is_clean(self):
+        services, operations = two_tier()
+        assert validate_topology(services, operations,
+                                 entry_service="frontend") == []
+
+
+class TestRetryAmplification:
+    def chain(self):
+        """frontend -> mid -> leaf, retries on both RPC edges."""
+        services = {n: svc(n) for n in ("frontend", "mid", "leaf")}
+        root = CallNode(service="frontend", groups=seq(
+            CallNode(service="mid",
+                     groups=seq(CallNode(service="leaf")))))
+        return services, {"chain": op("chain", root)}
+
+    def test_unbudgeted_retries_rejected(self):
+        services, operations = self.chain()
+        policy = ResiliencePolicy(max_retries=3)
+        findings = validate_topology(services, operations,
+                                     default_policy=policy)
+        assert "TOPO005" in codes(findings)
+        assert any("no retry budget" in f.message for f in findings)
+
+    def test_over_budget_amplification_rejected(self):
+        services, operations = self.chain()
+        policy = ResiliencePolicy(max_retries=3, retry_budget_ratio=0.2)
+        findings = validate_topology(services, operations,
+                                     default_policy=policy)
+        over = [f for f in findings if f.code == "TOPO005"]
+        assert over and any("worst-case" in f.message for f in over)
+
+    def test_within_budget_accepted(self):
+        services, operations = self.chain()
+        # A generous budget sustains the worst case: per edge the worst
+        # case is 1+1 = 2 attempts and the budget allows 1+1.0 = 2.
+        policy = ResiliencePolicy(max_retries=1, retry_budget_ratio=1.0)
+        assert validate_topology(services, operations,
+                                 default_policy=policy) == []
+
+    def test_no_retries_accepted(self):
+        services, operations = self.chain()
+        policy = ResiliencePolicy(rpc_timeout=0.05)
+        assert validate_topology(services, operations,
+                                 default_policy=policy) == []
+
+    def test_per_service_policy_map(self):
+        services, operations = self.chain()
+        policies = {"leaf": ResiliencePolicy(max_retries=2)}
+        findings = validate_topology(services, operations,
+                                     policies=policies)
+        assert codes(findings) == ["TOPO005"]
+        assert "leaf" in findings[0].message
+
+
+class TestRegistry:
+    def test_all_registered_apps_validate_clean(self):
+        results = check_registry()
+        assert set(results) == set(APP_BUILDERS)
+        for name, findings in results.items():
+            assert findings == [], f"{name}: {codes(findings)}"
+
+    def test_build_app_validates_and_caches(self):
+        registry._VALIDATED.pop("banking", None)
+        app = build_app("banking")
+        assert app.name == "banking"
+        assert registry._VALIDATED["banking"]
+
+    def test_build_app_rejects_broken_registration(self):
+        def build_broken():
+            services = {"a": svc("a"), "b": svc("b")}
+            operations = {
+                "f": op("f", CallNode(
+                    service="a", groups=seq(CallNode(service="b")))),
+                "g": op("g", CallNode(
+                    service="b", groups=seq(CallNode(service="a")))),
+            }
+            return Application(name="broken", services=services,
+                               operations=operations)
+
+        APP_BUILDERS["broken"] = build_broken
+        try:
+            with pytest.raises(TopologyError) as exc:
+                build_app("broken")
+            assert "TOPO001" in str(exc.value)
+            assert "cycle" in str(exc.value)
+        finally:
+            del APP_BUILDERS["broken"]
+            registry._VALIDATED.pop("broken", None)
+
+    def test_monoliths_validate_clean(self):
+        for name in ("social_network", "banking"):
+            from repro.apps.registry import build_monolith
+            assert validate_app(build_monolith(name)) == []
