@@ -29,6 +29,13 @@ from .core import (
     run_experiment,
     simulate,
 )
+from .obs import (
+    MetricsRegistry,
+    QoSReport,
+    attribute_qos_violations,
+    to_prometheus_text,
+    traces_to_otlp_json,
+)
 from .resilience import (
     BreakerConfig,
     LoadShedder,
@@ -47,15 +54,20 @@ __all__ = [
     "Deployment",
     "ExperimentResult",
     "LoadShedder",
+    "MetricsRegistry",
     "Operation",
+    "QoSReport",
     "QoSTarget",
     "ResiliencePolicy",
     "ServiceDefinition",
     "app_names",
+    "attribute_qos_violations",
     "balanced_provision",
     "build_app",
     "build_monolith",
     "run_experiment",
     "simulate",
+    "to_prometheus_text",
+    "traces_to_otlp_json",
     "__version__",
 ]

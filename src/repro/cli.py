@@ -8,6 +8,12 @@ Commands
     Show one application's services, operations, and default mix.
 ``simulate APP --qps N --duration S``
     Deploy and drive one application; print the measurement summary.
+    ``--metrics-out``/``--traces-out`` attach the observability layer
+    and write Prometheus text exposition / OTLP JSON artifacts.
+``report qos APP``
+    Run one experiment and attribute QoS violations to culprit tiers
+    (the Sec. 7 "which microservice started the cascade" analysis);
+    ``--delay``/``--slow`` inject tier faults to provoke one.
 ``provision APP --qps N``
     Print the balanced replica allocation (Sec. 3.8) for a target load.
 ``sweep APP --qps A B C``
@@ -96,9 +102,14 @@ def _cmd_simulate(args) -> int:
     app = build_app(args.app)
     replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
     policy = _resilience_policy(args)
+    metrics = None
+    if args.metrics_out or args.traces_out:
+        from .obs import MetricsRegistry
+        metrics = MetricsRegistry(scrape_period=args.scrape_period)
     result = simulate(app, qps=args.qps, duration=args.duration,
                       n_machines=args.machines, replicas=replicas,
-                      seed=args.seed, default_policy=policy)
+                      seed=args.seed, default_policy=policy,
+                      metrics=metrics)
     rows = [
         ["offered load (QPS)", f"{args.qps:g}"],
         ["throughput (req/s)", f"{result.throughput():.1f}"],
@@ -117,12 +128,71 @@ def _cmd_simulate(args) -> int:
             ["rpc timeouts", str(stats["timeouts"])],
             ["breaker rejections", str(stats["breaker_rejected"])],
         ]
+    dropped = result.collector.dropped_traces
+    if dropped:
+        rows.append(["dropped traces", str(dropped)])
     print(format_table(["metric", "value"], rows,
                        title=f"{app.name} measurement"))
+    if args.metrics_out:
+        from .obs import to_prometheus_text
+        with open(args.metrics_out, "w") as fh:
+            fh.write(to_prometheus_text(result.metrics,
+                                        now=result.duration))
+        print(f"metrics written to {args.metrics_out}")
+    if args.traces_out:
+        from .obs import traces_to_otlp_json
+        with open(args.traces_out, "w") as fh:
+            fh.write(traces_to_otlp_json(result.collector.traces,
+                                         indent=None))
+        print(f"traces written to {args.traces_out}")
     if args.dashboard:
         from .stats.dashboard import render_dashboard
         print()
         print(render_dashboard(result))
+    return 0
+
+
+def _parse_fault(text: str, what: str) -> tuple:
+    """Parse a ``SERVICE:VALUE`` fault-injection flag."""
+    service, sep, value = text.partition(":")
+    if not sep or not service:
+        raise argparse.ArgumentTypeError(
+            f"expected SERVICE:{what}, got {text!r}")
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad {what.lower()} in {text!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"{what.lower()} must be > 0")
+    return service, number
+
+
+def _cmd_report_qos(args) -> int:
+    from .obs import MetricsRegistry, attribute_qos_violations
+    app = build_app(args.app)
+    for service, _ in args.delay + args.slow:
+        if service not in app.services:
+            print(f"error: {app.name} has no service {service!r}",
+                  file=sys.stderr)
+            return 2
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+
+    def inject(deployment):
+        for service, seconds in args.delay:
+            deployment.delay_service(service, seconds)
+        for service, factor in args.slow:
+            deployment.slow_down_service(service, factor)
+
+    result = simulate(app, qps=args.qps, duration=args.duration,
+                      n_machines=args.machines, replicas=replicas,
+                      seed=args.seed, metrics=MetricsRegistry(),
+                      setup=inject if (args.delay or args.slow)
+                      else None)
+    report = attribute_qos_violations(
+        result, target=args.target, p=args.percentile,
+        window=args.window)
+    print(report.render())
     return 0
 
 
@@ -197,6 +267,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-RPC timeout in seconds")
     p.add_argument("--breakers", action="store_true",
                    help="enable per-edge circuit breakers")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write Prometheus text exposition to FILE")
+    p.add_argument("--traces-out", metavar="FILE", default=None,
+                   help="write OTLP JSON trace dump to FILE")
+    p.add_argument("--scrape-period", type=_positive_float, default=1.0,
+                   help="metrics scrape cadence in sim seconds")
+
+    p = sub.add_parser(
+        "report", help="post-run analysis reports")
+    report_sub = p.add_subparsers(dest="report_kind", required=True)
+    p = report_sub.add_parser(
+        "qos", help="attribute QoS violations to culprit tiers")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=100.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--target", type=_positive_float, default=None,
+                   help="latency target in seconds "
+                        "(default: the app's QoS bound)")
+    p.add_argument("--percentile", type=float, default=0.99,
+                   help="tail percentile checked against the target")
+    p.add_argument("--window", type=_positive_float, default=None,
+                   help="violation-detection window in sim seconds")
+    p.add_argument("--delay", metavar="SERVICE:SECONDS",
+                   type=lambda t: _parse_fault(t, "SECONDS"),
+                   action="append", default=[],
+                   help="add fixed latency to one tier (repeatable)")
+    p.add_argument("--slow", metavar="SERVICE:FACTOR",
+                   type=lambda t: _parse_fault(t, "FACTOR"),
+                   action="append", default=[],
+                   help="multiply one tier's CPU work (repeatable)")
 
     p = sub.add_parser("provision", help="balanced provisioning")
     p.add_argument("app", choices=app_names())
@@ -228,6 +330,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
     "simulate": _cmd_simulate,
+    "report": _cmd_report_qos,
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,
     "dot": _cmd_dot,

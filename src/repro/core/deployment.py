@@ -119,6 +119,12 @@ class Deployment:
         #: Per-service probability that one RPC attempt fails after its
         #: pre-compute (fault injection for the resilience experiments).
         self.error_rate: Dict[str, float] = defaultdict(lambda: 0.0)
+        #: Per-cache-tier hit/miss tallies (``Counter`` with ``hit`` /
+        #: ``miss`` keys), populated once :meth:`set_cache_hit_ratio`
+        #: arms a tier.  The observability layer exports these as
+        #: ``repro_cache_requests_total`` / ``repro_cache_hit_ratio``.
+        self.cache_stats: Dict[str, Counter] = {}
+        self._cache_model: Dict[str, Tuple[float, float]] = {}
         #: Resilience policies keyed by *callee* service; the default
         #: applies to every service without an explicit entry.
         self.policies: Dict[str, ResiliencePolicy] = dict(policies or {})
@@ -229,6 +235,26 @@ class Deployment:
             raise KeyError(f"unknown service {service!r}")
         self.error_rate[service] = rate
 
+    def set_cache_hit_ratio(self, service: str, ratio: float,
+                            miss_penalty: float = 4.0) -> None:
+        """Arm per-request hit/miss sampling at one cache tier.
+
+        Each request to ``service`` draws a Bernoulli(``ratio``) hit
+        from the tier's own RNG stream; a miss inflates that request's
+        sampled work by ``miss_penalty`` (the backend fetch the cache
+        performs on your behalf).  Pick ``ratio`` with the Che
+        approximation (:mod:`repro.analytic.cache`).  Unarmed tiers
+        draw no extra randomness, so existing runs stay byte-identical.
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        if miss_penalty <= 0:
+            raise ValueError("miss_penalty must be > 0")
+        if service not in self.app.services:
+            raise KeyError(f"unknown service {service!r}")
+        self._cache_model[service] = (ratio, miss_penalty)
+        self.cache_stats.setdefault(service, Counter())
+
     # -- resilience configuration ------------------------------------------
     def set_policy(self, policy: Optional[ResiliencePolicy],
                    service: Optional[str] = None) -> None:
@@ -297,6 +323,16 @@ class Deployment:
         mean = (definition.work_mean * node.work_scale
                 * self.work_multiplier[node.service]
                 * self.op_work_multiplier[operation])
+        cache = self._cache_model.get(node.service)
+        if cache is not None:
+            ratio, penalty = cache
+            stats = self.cache_stats[node.service]
+            if self.rng.uniform(f"cache.{node.service}", 0.0,
+                                1.0) < ratio:
+                stats["hit"] += 1
+            else:
+                stats["miss"] += 1
+                mean *= penalty
         if mean <= 0:
             return 0.0
         return self.rng.lognormal(f"work.{node.service}", mean,

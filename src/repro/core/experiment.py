@@ -42,6 +42,9 @@ class ExperimentResult:
     duration: float
     warmup: float
     extras: Dict[str, object] = field(default_factory=dict)
+    #: The sim-time metrics registry, when the run was instrumented
+    #: (``metrics=True`` / a registry passed to :func:`run_experiment`).
+    metrics: Optional[object] = None
 
     # -- latency ---------------------------------------------------------
     def latencies(self) -> np.ndarray:
@@ -110,13 +113,21 @@ def run_experiment(deployment: Deployment,
                    rate_limiter: Optional[TokenBucket] = None,
                    sample_period: float = 1.0,
                    seed: int = 1,
-                   run_env: bool = True) -> ExperimentResult:
+                   run_env: bool = True,
+                   metrics: Union[bool, object, None] = None,
+                   ) -> ExperimentResult:
     """Drive ``deployment`` with open-loop load and measure.
 
     ``rate`` is either a fixed QPS or a pattern function.  The
     environment is run to ``duration`` unless ``run_env=False`` (callers
     who schedule extra processes — autoscalers, fault injectors — can
-    run the clock themselves and still get the monitoring plumbing)."""
+    run the clock themselves and still get the monitoring plumbing).
+
+    ``metrics`` attaches the observability layer: pass ``True`` for a
+    default :class:`~repro.obs.MetricsRegistry` (1 s scrape cadence) or
+    a pre-configured registry; the deployment, collector, and generator
+    are instrumented and the sim-time scraper started, with the
+    registry returned on ``result.metrics``."""
     env = deployment.env
     if warmup is None:
         warmup = 0.2 * duration
@@ -154,11 +165,28 @@ def run_experiment(deployment: Deployment,
 
     if monitorable:
         env.process(monitor(), name="monitor")
+    registry = None
+    if metrics is not None and metrics is not False:
+        from ..obs import MetricsRegistry, instrument_experiment
+        registry = MetricsRegistry() if metrics is True else metrics
+        if monitorable:
+            instrument_experiment(registry, deployment,
+                                  generator=generator, env=env)
+        else:
+            # Serverless-style deployments: no per-tier instances to
+            # watch, but request metrics and the scraper still apply.
+            from ..obs import instrument_generator
+            collector = getattr(deployment, "collector", None)
+            if collector is not None \
+                    and hasattr(collector, "set_metrics"):
+                collector.set_metrics(registry)
+            instrument_generator(registry, generator)
+            registry.start(env)
     generator.start(duration)
     result = ExperimentResult(
         deployment=deployment, generator=generator,
         collector=deployment.collector, utilization=utilization,
-        duration=duration, warmup=warmup)
+        duration=duration, warmup=warmup, metrics=registry)
     if run_env:
         env.run(until=duration)
     return result
@@ -178,11 +206,15 @@ def simulate(app: Application,
              policies: Optional[Dict[str, object]] = None,
              default_policy: Optional[object] = None,
              shedder: Optional[object] = None,
+             setup: Optional[Callable[[Deployment], None]] = None,
              **kwargs) -> ExperimentResult:
     """One-call convenience: build env + cluster + deployment and run.
 
     ``policies``/``default_policy``/``shedder`` pass resilience
-    configuration (:mod:`repro.resilience`) through to the deployment."""
+    configuration (:mod:`repro.resilience`) through to the deployment.
+    ``setup`` runs against the fresh deployment before load starts —
+    the hook for fault injection (``slow_down_service``, ``delay_
+    service``, ...) and for scheduling mid-run events on its env."""
     env = Environment()
     cluster = Cluster.homogeneous(env, platform, n_machines)
     if edge_machines > 0:
@@ -197,5 +229,7 @@ def simulate(app: Application,
                             cores=cores, seed=seed, policies=policies,
                             default_policy=default_policy,
                             shedder=shedder)
+    if setup is not None:
+        setup(deployment)
     return run_experiment(deployment, qps, duration, seed=seed + 1,
                           **kwargs)

@@ -54,8 +54,15 @@ def render_report(result, title: str = "") -> str:
           f"{stats['p99'] * 1e3:.2f}"],
          ["QoS target (ms)", f"{app.qos_latency * 1e3:.1f}"],
          ["QoS met", result.qos_met()],
-         ["completion ratio", f"{result.completion_ratio():.3f}"]]))
+         ["completion ratio", f"{result.completion_ratio():.3f}"],
+         ["dropped traces", result.collector.dropped_traces]]))
     lines.append("")
+    if result.collector.dropped_traces:
+        lines.append(
+            f"> **Warning:** {result.collector.dropped_traces} traces "
+            f"were dropped by the collector's retention cap; the "
+            f"attribution below covers the retained prefix only.")
+        lines.append("")
 
     # Tier attribution.
     traces = [t for t in result.collector.traces

@@ -1,0 +1,43 @@
+"""Sim-time observability: metrics registry, instrumentation, QoS
+attribution, and standard exporters (Sec. 7's monitoring surface)."""
+
+from .exporters import to_prometheus_text, traces_to_otlp_json
+from .instrument import (
+    instrument_autoscaler,
+    instrument_deployment,
+    instrument_experiment,
+    instrument_generator,
+)
+from .qos import (
+    QoSReport,
+    TierEvidence,
+    ViolationEpisode,
+    attribute_qos_violations,
+    detect_violation_windows,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "DEFAULT_LATENCY_BUCKETS",
+    "instrument_deployment",
+    "instrument_generator",
+    "instrument_autoscaler",
+    "instrument_experiment",
+    "QoSReport",
+    "TierEvidence",
+    "ViolationEpisode",
+    "attribute_qos_violations",
+    "detect_violation_windows",
+    "to_prometheus_text",
+    "traces_to_otlp_json",
+]

@@ -1,0 +1,236 @@
+"""Standard instrumentation over the simulation stack.
+
+One call — :func:`instrument_experiment` — registers the fleet-wide
+metric surface the paper's cluster-management analysis depends on
+(Sec. 7): per-tier CPU utilization and run-queue depth, RPC rates and
+outcomes, retry/shed/timeout counters, circuit-breaker state as gauge
+steps, NIC queue depths and kernel-TCP CPU share, cache hit ratios,
+and autoscaler actions.  Everything is exposed through the central
+:class:`~repro.obs.registry.MetricsRegistry` and sampled by its
+sim-time scraper, so the QoS-attribution engine and the dashboard read
+one store instead of recomputing ad hoc per benchmark.
+
+Metric names (Prometheus conventions, ``repro_`` prefix)
+--------------------------------------------------------
+=================================== ======= =============================
+name                                kind    labels
+=================================== ======= =============================
+repro_cpu_utilization               gauge   service
+repro_run_queue_depth               gauge   service
+repro_outstanding_requests          gauge   service
+repro_worker_queue_depth            gauge   service
+repro_replicas                      gauge   service
+repro_net_cpu_share                 gauge   service
+repro_nic_queue_depth               gauge   machine, direction
+repro_breaker_state                 gauge   caller, callee, instance
+repro_breaker_opened_total          counter caller, callee, instance
+repro_resilience_events_total       counter event
+repro_shed_requests_total           counter (none)
+repro_inflight_requests             gauge   (none)
+repro_cache_requests_total          counter service, outcome
+repro_cache_hit_ratio               gauge   service
+repro_offered_requests_total        counter (none)
+repro_autoscaler_actions_total      counter action
+repro_requests_total                counter operation, status
+repro_rpc_total                     counter service, status
+repro_request_latency_seconds       histo   operation
+repro_span_latency_seconds          histo   service
+repro_retries_total                 counter (none)
+repro_dropped_traces_total          counter (none)
+=================================== ======= =============================
+
+The ``repro_requests_total`` block at the bottom is fed by the
+:class:`~repro.tracing.collector.TraceCollector` (push-side); the rest
+are collect hooks that mirror live objects at each scrape.
+
+Breaker state encoding: 0 = closed, 1 = half-open, 2 = open — scraped
+into the ring buffers, breaker flips appear as gauge steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..resilience.breaker import CLOSED, HALF_OPEN
+from .registry import MetricsRegistry
+
+__all__ = [
+    "instrument_deployment",
+    "instrument_generator",
+    "instrument_autoscaler",
+    "instrument_experiment",
+    "BREAKER_STATE_CODES",
+]
+
+#: Gauge encoding of circuit-breaker states.
+BREAKER_STATE_CODES = {CLOSED: 0.0, HALF_OPEN: 1.0, "open": 2.0}
+
+
+def instrument_deployment(registry: MetricsRegistry, deployment) -> None:
+    """Register the per-tier / per-machine / resilience metric surface
+    of one deployment, refreshed by a collect hook at each scrape."""
+    util = registry.gauge(
+        "repro_cpu_utilization",
+        "CPU busy fraction per tier over the last scrape window",
+        ("service",))
+    runq = registry.gauge(
+        "repro_run_queue_depth",
+        "Jobs resident on a tier's processor-sharing CPUs", ("service",))
+    outstanding = registry.gauge(
+        "repro_outstanding_requests",
+        "RPCs admitted or queued at a tier", ("service",))
+    workq = registry.gauge(
+        "repro_worker_queue_depth",
+        "Requests waiting for a worker thread", ("service",))
+    replicas = registry.gauge(
+        "repro_replicas", "Live replicas per tier", ("service",))
+    net_share = registry.gauge(
+        "repro_net_cpu_share",
+        "Kernel-TCP share of a tier's cumulative CPU seconds",
+        ("service",))
+    nicq = registry.gauge(
+        "repro_nic_queue_depth",
+        "Messages queued or serializing on a NIC",
+        ("machine", "direction"))
+    breaker_state = registry.gauge(
+        "repro_breaker_state",
+        "Circuit breaker state (0 closed, 1 half-open, 2 open)",
+        ("caller", "callee", "instance"))
+    breaker_opened = registry.counter(
+        "repro_breaker_opened_total",
+        "Times a breaker tripped open",
+        ("caller", "callee", "instance"))
+    resilience = registry.counter(
+        "repro_resilience_events_total",
+        "Resilience events by type (retries, timeouts, shed, ...)",
+        ("event",))
+    shed_total = registry.counter(
+        "repro_shed_requests_total",
+        "Requests refused admission at the front tier")
+    inflight = registry.gauge(
+        "repro_inflight_requests",
+        "End-to-end requests currently admitted")
+    cache_reqs = registry.counter(
+        "repro_cache_requests_total",
+        "Cache lookups by outcome", ("service", "outcome"))
+    cache_ratio = registry.gauge(
+        "repro_cache_hit_ratio",
+        "Observed cache hit ratio per cache tier", ("service",))
+
+    # Windowed utilization from cumulative busy-time deltas (sampling
+    # the busy fraction at the scrape instant would read ~0 at low
+    # load); same technique as the harness monitor, own bookkeeping so
+    # neither observer perturbs the other.
+    prev_busy = {}
+    last_t = [None]
+
+    def hook(now: float) -> None:
+        dt = now - last_t[0] if last_t[0] is not None else now
+        for service in deployment.service_names():
+            instances = deployment.instances_of(service)
+            delta = 0.0
+            cores = 0
+            for inst in instances:
+                busy = inst.cpu.busy_time()
+                delta += busy - prev_busy.get(id(inst), 0.0)
+                prev_busy[id(inst)] = busy
+                cores += inst.cores
+            if dt > 0 and cores > 0:
+                util.labels(service=service).set(
+                    min(1.0, delta / (dt * cores)))
+            runq.labels(service=service).set(
+                sum(inst.cpu.active_jobs for inst in instances))
+            outstanding.labels(service=service).set(
+                sum(inst.outstanding for inst in instances))
+            workq.labels(service=service).set(
+                sum(inst.workers.queue_length for inst in instances
+                    if inst.workers is not None))
+            replicas.labels(service=service).set(len(instances))
+            app_cpu = sum(inst.app_cpu_seconds for inst in instances)
+            net_cpu = sum(inst.net_cpu_seconds for inst in instances)
+            total = app_cpu + net_cpu
+            net_share.labels(service=service).set(
+                net_cpu / total if total > 0 else 0.0)
+        for machine in deployment.cluster.machines:
+            for direction, nic in (("tx", machine.nic_tx),
+                                   ("rx", machine.nic_rx)):
+                nicq.labels(machine=machine.machine_id,
+                            direction=direction).set(
+                    nic.queue_length + nic.count)
+        for key in sorted(deployment.breakers(), key=lambda k: k + ("",)):
+            breaker = deployment.breakers()[key]
+            caller, callee = key[0], key[1]
+            instance = key[2] if len(key) > 2 else ""
+            labels = dict(caller=caller, callee=callee,
+                          instance=instance)
+            breaker_state.labels(**labels).set(
+                BREAKER_STATE_CODES[breaker.state])
+            breaker_opened.labels(**labels).set_total(
+                breaker.opened_count)
+        for event in sorted(deployment.resilience_stats):
+            resilience.labels(event=event).set_total(
+                deployment.resilience_stats[event])
+        if deployment.shedder is not None:
+            shed_total.labels().set_total(deployment.shedder.shed)
+            inflight.labels().set(deployment.shedder.in_flight)
+        for service in sorted(deployment.cache_stats):
+            stats = deployment.cache_stats[service]
+            hits = stats.get("hit", 0)
+            misses = stats.get("miss", 0)
+            cache_reqs.labels(service=service, outcome="hit").set_total(
+                hits)
+            cache_reqs.labels(service=service, outcome="miss").set_total(
+                misses)
+            lookups = hits + misses
+            cache_ratio.labels(service=service).set(
+                hits / lookups if lookups else 0.0)
+        last_t[0] = now
+
+    registry.add_collect_hook(hook)
+
+
+def instrument_generator(registry: MetricsRegistry, generator) -> None:
+    """Mirror the load generator's offered-request counter."""
+    offered = registry.counter(
+        "repro_offered_requests_total",
+        "End-to-end requests issued by the load generator")
+
+    def hook(now: float) -> None:
+        offered.labels().set_total(generator.issued)
+
+    registry.add_collect_hook(hook)
+
+
+def instrument_autoscaler(registry: MetricsRegistry, scaler) -> None:
+    """Mirror autoscaler actions (scale_out / scale_in) as counters."""
+    actions = registry.counter(
+        "repro_autoscaler_actions_total",
+        "Autoscaler scaling actions by direction", ("action",))
+
+    def hook(now: float) -> None:
+        out = sum(1 for e in scaler.events if e.action == "scale_out")
+        in_ = sum(1 for e in scaler.events if e.action == "scale_in")
+        actions.labels(action="scale_out").set_total(out)
+        actions.labels(action="scale_in").set_total(in_)
+
+    registry.add_collect_hook(hook)
+
+
+def instrument_experiment(registry: MetricsRegistry, deployment,
+                          generator=None, autoscaler=None,
+                          env=None, start_scraper: bool = True) -> None:
+    """Wire the full metric surface for one experiment.
+
+    Registers deployment/collector/generator/autoscaler instrumentation
+    and (by default) starts the registry's sim-time scraper on the
+    deployment's environment."""
+    instrument_deployment(registry, deployment)
+    collector = getattr(deployment, "collector", None)
+    if collector is not None and hasattr(collector, "set_metrics"):
+        collector.set_metrics(registry)
+    if generator is not None:
+        instrument_generator(registry, generator)
+    if autoscaler is not None:
+        instrument_autoscaler(registry, autoscaler)
+    if start_scraper:
+        registry.start(env if env is not None else deployment.env)

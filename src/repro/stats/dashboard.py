@@ -56,48 +56,107 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
     return "".join(tick(v) for v in vals)
 
 
+def _util_points(result, service) -> List[float]:
+    """Utilization samples for one tier: the metrics registry's scraped
+    series when the run was instrumented, else the harness monitor's."""
+    registry = getattr(result, "metrics", None)
+    if registry is not None:
+        try:
+            points = registry.series("repro_cpu_utilization",
+                                     service=service)
+        except KeyError:
+            points = []
+        if points:
+            return [v for _, v in points]
+    series = result.utilization.get(service)
+    if series is not None and len(series):
+        return [v for _, v in series.points]
+    return []
+
+
 def render_dashboard(result, bucket: float = None, top: int = 8) -> str:
-    """A text dashboard for one experiment result."""
+    """A text dashboard for one experiment result.
+
+    Handles degenerate runs (no completions, or failures only) by
+    rendering the headline with placeholders instead of raising, and
+    warns when the trace collector dropped traces past its retention
+    cap (trace-derived analyses then run on truncated inputs)."""
     duration = result.duration
     bucket = bucket or max(duration / 30.0, 0.5)
     lines: List[str] = []
     app = result.deployment.app
+    collector = result.collector
     lines.append(f"=== {app.name}: {duration:.0f}s, "
-                 f"{result.collector.total_collected} requests ===")
+                 f"{collector.total_collected} requests ===")
 
-    # Headline numbers.
-    lines.append(format_table(["metric", "value"], [
-        ["throughput (req/s)", f"{result.throughput():.1f}"],
-        ["mean latency (ms)", f"{result.mean_latency() * 1e3:.2f}"],
-        ["p95 (ms)", f"{result.tail(0.95) * 1e3:.2f}"],
-        ["p99 (ms)", f"{result.tail(0.99) * 1e3:.2f}"],
-        ["QoS met", str(result.qos_met())],
-        ["completion ratio", f"{result.completion_ratio():.3f}"],
-    ]))
+    dropped = getattr(collector, "dropped_traces", 0)
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} traces dropped by the keep_traces cap "
+            f"({collector.keep_traces}); trace-derived panels cover "
+            f"only the first {len(collector.traces)} traces")
+
+    # Headline numbers.  A run can legitimately finish with zero
+    # successful completions (all shed/errored, or no load at all);
+    # the percentile math raises on empty windows, so guard it.
+    ok_samples = len(result.latencies())
+    if ok_samples > 0:
+        rows = [
+            ["throughput (req/s)", f"{result.throughput():.1f}"],
+            ["mean latency (ms)", f"{result.mean_latency() * 1e3:.2f}"],
+            ["p95 (ms)", f"{result.tail(0.95) * 1e3:.2f}"],
+            ["p99 (ms)", f"{result.tail(0.99) * 1e3:.2f}"],
+            ["QoS met", str(result.qos_met())],
+        ]
+    else:
+        rows = [
+            ["throughput (req/s)", "0.0"],
+            ["mean latency (ms)", "-"],
+            ["p95 (ms)", "-"],
+            ["p99 (ms)", "-"],
+            ["QoS met", "False"],
+        ]
+    rows.append(["completion ratio", f"{result.completion_ratio():.3f}"])
+    failures = collector.failure_count
+    if failures:
+        breakdown = ", ".join(
+            f"{status}={count}" for status, count
+            in sorted(collector.status_counts.items())
+            if status != "ok")
+        rows.append(["failed requests", f"{failures} ({breakdown})"])
+    lines.append(format_table(["metric", "value"], rows))
+
+    if ok_samples == 0:
+        lines.append("")
+        lines.append("no successful completions post-warmup: latency "
+                     "panels skipped")
+        if collector.total_collected == 0:
+            return "\n".join(lines)
 
     # Latency-over-time sparkline.
-    series = result.collector.end_to_end.timeseries(bucket=bucket, p=0.95)
-    lines.append("")
-    lines.append("p95 over time: " + sparkline([v for _, v in series]))
+    series = collector.end_to_end.timeseries(bucket=bucket, p=0.95)
+    if series:
+        lines.append("")
+        lines.append("p95 over time: "
+                     + sparkline([v for _, v in series]))
 
     # Per-tier panels: slowest spans and busiest CPUs.
     tiers = []
     for service in result.deployment.service_names():
-        recorder = result.collector.per_service.get(service)
+        recorder = collector.per_service.get(service)
         if recorder is None or len(recorder.samples()) == 0:
             continue
-        util_series = result.utilization.get(service)
-        util = (util_series.mean_in(result.warmup, duration)
-                if util_series and len(util_series) else float("nan"))
+        points = _util_points(result, service)
+        util = (sum(points) / len(points)) if points else float("nan")
         tiers.append((service, recorder.tail(0.95), util,
-                      sparkline([v for _, v in util_series.points])
-                      if util_series and len(util_series) else ""))
+                      sparkline(points) if points else ""))
     tiers.sort(key=lambda row: -row[1])
-    lines.append("")
-    lines.append(format_table(
-        ["tier", "span p95 (ms)", "mean util", "util over time"],
-        [[name, f"{tail * 1e3:.2f}",
-          f"{util:.2f}" if not math.isnan(util) else "-", spark]
-         for name, tail, util, spark in tiers[:top]],
-        title=f"slowest {min(top, len(tiers))} tiers"))
+    if tiers:
+        lines.append("")
+        lines.append(format_table(
+            ["tier", "span p95 (ms)", "mean util", "util over time"],
+            [[name, f"{tail * 1e3:.2f}",
+              f"{util:.2f}" if not math.isnan(util) else "-", spark]
+             for name, tail, util, spark in tiers[:top]],
+            title=f"slowest {min(top, len(tiers))} tiers"))
     return "\n".join(lines)

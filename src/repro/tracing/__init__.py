@@ -7,10 +7,16 @@ from .analysis import (
     per_service_exclusive,
 )
 from .collector import TraceCollector
-from .export import span_records, traces_from_json, traces_to_json
+from .export import (
+    SCHEMA_VERSION,
+    span_records,
+    traces_from_json,
+    traces_to_json,
+)
 from .span import Span, Trace
 
 __all__ = [
+    "SCHEMA_VERSION",
     "Span",
     "Trace",
     "TraceCollector",

@@ -44,6 +44,22 @@ class TraceCollector:
             lambda: LatencyRecorder(warmup=warmup))
         self.per_operation: Dict[str, LatencyRecorder] = defaultdict(
             lambda: LatencyRecorder(warmup=warmup))
+        self._metrics = None
+
+    def set_metrics(self, registry) -> None:
+        """Attach a :class:`~repro.obs.registry.MetricsRegistry`: every
+        collected trace then feeds request/RPC counters and latency
+        histograms alongside the recorders."""
+        self._metrics = registry
+
+    @property
+    def dropped_traces(self) -> int:
+        """Traces counted but not retained (the ``keep_traces`` cap).
+
+        Trace-derived analyses — attribution, critical paths, exports —
+        only see the retained prefix; a non-zero value here means they
+        run on truncated inputs."""
+        return self.total_collected - len(self.traces)
 
     def collect(self, trace: Trace,
                 latency_override: Optional[float] = None) -> None:
@@ -58,6 +74,8 @@ class TraceCollector:
         self.total_retries += trace.retry_count()
         if len(self.traces) < self.keep_traces:
             self.traces.append(trace)
+        if self._metrics is not None:
+            self._push_metrics(trace, latency_override)
         if trace.status != "ok":
             # Failed/shed requests are counted, not timed: their spans
             # still feed per-service recorders when they individually
@@ -74,6 +92,40 @@ class TraceCollector:
         self.per_operation[trace.operation].record(finish, latency)
         for span in trace.root.walk():
             self.per_service[span.service].record(span.end, span.duration)
+
+    def _push_metrics(self, trace: Trace,
+                      latency_override: Optional[float]) -> None:
+        """Feed one trace into the attached metrics registry."""
+        reg = self._metrics
+        reg.counter("repro_requests_total",
+                    "End-to-end completions by operation and status",
+                    ("operation", "status")).labels(
+            operation=trace.operation, status=trace.status).inc()
+        reg.counter("repro_retries_total",
+                    "Retries spent across all call trees").labels(
+        ).inc(trace.retry_count())
+        reg.counter("repro_dropped_traces_total",
+                    "Traces dropped by the keep_traces cap").labels(
+        ).set_total(self.dropped_traces)
+        if trace.ok:
+            latency = trace.latency if latency_override is None \
+                else latency_override
+            reg.histogram(
+                "repro_request_latency_seconds",
+                "End-to-end latency of successful requests",
+                ("operation",)).labels(
+                operation=trace.operation).observe(latency)
+        rpc = reg.counter("repro_rpc_total",
+                          "Server-side RPC spans by tier and status",
+                          ("service", "status"))
+        span_hist = reg.histogram("repro_span_latency_seconds",
+                                  "Per-tier span durations",
+                                  ("service",))
+        for span in trace.root.walk():
+            rpc.labels(service=span.service, status=span.status).inc()
+            if span.ok and span.duration > 0:
+                span_hist.labels(service=span.service).observe(
+                    span.duration)
 
     @property
     def ok_count(self) -> int:

@@ -5,6 +5,15 @@ for offline analysis; the equivalent here is a portable JSON format so
 traces from one run can be archived, diffed between configurations, or
 analyzed with external tooling.  The schema follows Zipkin v2 loosely:
 one record per span, microsecond timestamps, parent references by id.
+
+Schema history
+--------------
+* **v1** — a bare JSON array of span records.
+* **v2** (current) — an envelope ``{"schemaVersion": 2, "spans":
+  [...]}``; span tags carry the per-span terminal ``status`` and
+  ``retries`` count as first-class round-tripped annotations.
+
+:func:`traces_from_json` accepts both versions.
 """
 
 from __future__ import annotations
@@ -14,7 +23,11 @@ from typing import Dict, Iterable, List
 
 from .span import Span, Trace
 
-__all__ = ["traces_to_json", "traces_from_json", "span_records"]
+__all__ = ["traces_to_json", "traces_from_json", "span_records",
+           "SCHEMA_VERSION"]
+
+#: Version stamped into :func:`traces_to_json` envelopes.
+SCHEMA_VERSION = 2
 
 
 def span_records(trace: Trace, trace_id: int) -> List[dict]:
@@ -51,11 +64,12 @@ def span_records(trace: Trace, trace_id: int) -> List[dict]:
 
 
 def traces_to_json(traces: Iterable[Trace], indent: int = None) -> str:
-    """Serialize traces to a Zipkin-style JSON array."""
+    """Serialize traces to the v2 JSON envelope."""
     records = []
     for i, trace in enumerate(traces):
         records.extend(span_records(trace, i))
-    return json.dumps(records, indent=indent)
+    return json.dumps({"schemaVersion": SCHEMA_VERSION,
+                       "spans": records}, indent=indent)
 
 
 def _build_span(record: dict) -> Span:
@@ -76,8 +90,18 @@ def _build_span(record: dict) -> Span:
 
 
 def traces_from_json(payload: str) -> List[Trace]:
-    """Rebuild traces from :func:`traces_to_json` output."""
-    records = json.loads(payload)
+    """Rebuild traces from :func:`traces_to_json` output.
+
+    Accepts the v2 envelope and the legacy v1 bare-array format."""
+    data = json.loads(payload)
+    if isinstance(data, dict):
+        version = data.get("schemaVersion")
+        if version not in (None, 1, SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported trace schema version {version!r}")
+        records = data.get("spans", [])
+    else:
+        records = data
     spans: Dict[str, Span] = {}
     children: Dict[str, List[str]] = {}
     roots: Dict[str, str] = {}

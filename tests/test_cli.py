@@ -43,6 +43,49 @@ def test_simulate_resilience_flags(capsys):
     assert "breaker rejections" in out
 
 
+def test_simulate_metrics_and_traces_out(tmp_path, capsys):
+    metrics = tmp_path / "metrics.prom"
+    traces = tmp_path / "traces.json"
+    assert main(["simulate", "banking", "--qps", "15",
+                 "--duration", "4", "--machines", "3",
+                 "--metrics-out", str(metrics),
+                 "--traces-out", str(traces),
+                 "--scrape-period", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics written to" in out
+    assert "traces written to" in out
+    prom = metrics.read_text()
+    assert "# TYPE repro_requests_total counter" in prom
+    assert "repro_cpu_utilization" in prom
+    import json
+    doc = json.loads(traces.read_text())
+    assert doc["resourceSpans"]
+    span = doc["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+    assert "startTimeUnixNano" in span
+
+
+def test_report_qos_command(capsys):
+    assert main(["report", "qos", "banking", "--qps", "30",
+                 "--duration", "6", "--machines", "3",
+                 "--delay", "payments:0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "QoS attribution" in out
+    assert "culprit ranking" in out or "no QoS violations" in out
+
+
+def test_report_qos_rejects_unknown_service(capsys):
+    assert main(["report", "qos", "banking",
+                 "--delay", "nosuch:0.1"]) == 2
+    assert "no service" in capsys.readouterr().err
+
+
+def test_report_qos_rejects_malformed_fault():
+    with pytest.raises(SystemExit):
+        main(["report", "qos", "banking", "--delay", "payments"])
+    with pytest.raises(SystemExit):
+        main(["report", "qos", "banking", "--slow", "payments:fast"])
+
+
 def test_provision_command(capsys):
     assert main(["provision", "social_network", "--qps", "500"]) == 0
     out = capsys.readouterr().out

@@ -54,3 +54,60 @@ def test_cli_dashboard_flag(capsys):
                  "4", "--machines", "2", "--dashboard"]) == 0
     out = capsys.readouterr().out
     assert "p95 over time" in out
+
+
+def test_render_dashboard_empty_run():
+    # Effectively zero load: no completions at all.
+    result = simulate(build_app("banking"), qps=0.001, duration=3.0,
+                      n_machines=2, seed=17)
+    assert result.collector.total_collected == 0
+    text = render_dashboard(result)
+    assert "0 requests" in text
+    assert "no successful completions" in text
+    assert "mean latency" in text  # headline still renders
+
+
+def test_render_dashboard_failed_only_run():
+    def all_fail(deployment):
+        entry = deployment.app.operations[
+            next(iter(deployment.app.operations))].root.service
+        deployment.inject_error_rate(entry, 1.0)
+
+    result = simulate(build_app("banking"), qps=20, duration=4.0,
+                      n_machines=2, seed=13, setup=all_fail)
+    assert result.collector.total_collected > 0
+    assert result.collector.ok_count == 0
+    text = render_dashboard(result)
+    assert "no successful completions" in text
+    assert "failed requests" in text
+    assert "error=" in text
+
+
+def test_render_dashboard_warns_on_dropped_traces():
+    result = simulate(build_app("banking"), qps=25, duration=4.0,
+                      n_machines=2, seed=3)
+    result.collector.keep_traces = len(result.collector.traces)
+    result.collector.total_collected += 7  # simulate 7 dropped
+    text = render_dashboard(result)
+    assert "WARNING: 7 traces dropped" in text
+
+
+def test_render_dashboard_prefers_registry_sparklines():
+    result = simulate(build_app("banking"), qps=25, duration=5.0,
+                      n_machines=3, seed=91, metrics=True)
+    front = result.deployment.service_names()[0]
+    points = result.metrics.series("repro_cpu_utilization",
+                                   service=front)
+    assert points  # the registry scraped real utilization samples
+    text = render_dashboard(result)
+    assert "util over time" in text
+    # Sabotage the registry series: the dashboard must reflect it,
+    # proving the sparkline source is the registry, not the bespoke
+    # monitor arrays.
+    key = ("repro_cpu_utilization",
+           (("service", front),))
+    result.metrics._series[key].clear()
+    for t in range(5):
+        result.metrics._series[key].append((float(t), 1.0))
+    sabotaged = render_dashboard(result)
+    assert sabotaged != text

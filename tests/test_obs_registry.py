@@ -1,0 +1,123 @@
+"""Tests for the sim-time metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.sim import Environment
+
+
+def test_counter_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("hits_total", "hits").labels()
+    c.inc()
+    c.inc(4)
+    assert reg.value("hits_total") == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_set_total_mirrors_external_totals():
+    reg = MetricsRegistry()
+    c = reg.counter("mirrored_total").labels()
+    c.set_total(10)
+    c.set_total(10)
+    c.set_total(12)
+    assert reg.value("mirrored_total") == 12
+    with pytest.raises(ValueError):
+        c.set_total(3)
+
+
+def test_gauge_up_and_down():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth", ("service",))
+    g.labels(service="web").set(4.0)
+    g.labels(service="web").dec()
+    g.labels(service="cache").inc(2.5)
+    assert reg.value("depth", service="web") == 3.0
+    assert reg.value("depth", service="cache") == 2.5
+
+
+def test_histogram_buckets_and_sum():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0)).labels()
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.counts == [1, 1, 1, 1]  # one per bucket incl. +Inf
+    assert h.count == 4
+    assert h.total == pytest.approx(5.555)
+    assert DEFAULT_LATENCY_BUCKETS == tuple(sorted(
+        DEFAULT_LATENCY_BUCKETS))
+
+
+def test_labels_validated_against_declaration():
+    reg = MetricsRegistry()
+    fam = reg.counter("rpc_total", "", ("service",))
+    with pytest.raises(ValueError):
+        fam.labels(tier="web")
+    with pytest.raises(ValueError):
+        fam.labels()
+    fam.labels(service="web").inc()
+
+
+def test_reregistration_returns_same_family():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", "first", ("k",))
+    b = reg.counter("x_total", "ignored", ("k",))
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.gauge("x_total")
+
+
+def test_scrape_appends_ring_buffer_points():
+    reg = MetricsRegistry(series_capacity=3)
+    g = reg.gauge("g").labels()
+    for t in range(5):
+        g.set(float(t))
+        reg.scrape(float(t))
+    # Capacity 3: only the last three samples survive.
+    assert reg.series("g") == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+    assert reg.scrape_count == 5
+    assert reg.last_scrape == 4.0
+
+
+def test_collect_hooks_refresh_at_scrape_instant():
+    reg = MetricsRegistry()
+    g = reg.gauge("mirror").labels()
+    state = {"v": 0.0}
+    reg.add_collect_hook(lambda now: g.set(state["v"] + now))
+    state["v"] = 5.0
+    reg.scrape(1.0)
+    assert reg.series("mirror") == [(1.0, 6.0)]
+
+
+def test_scraper_runs_on_sim_cadence():
+    env = Environment()
+    reg = MetricsRegistry(scrape_period=0.5)
+    reg.gauge("tick").labels().set(1.0)
+    reg.start(env)
+    env.run(until=2.1)
+    assert [t for t, _ in reg.series("tick")] == [0.5, 1.0, 1.5, 2.0]
+    with pytest.raises(RuntimeError):
+        reg.start(env)
+
+
+def test_series_windows_and_means():
+    reg = MetricsRegistry()
+    g = reg.gauge("v").labels()
+    for t, v in [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]:
+        g.set(v)
+        reg.scrape(t)
+    assert reg.series_in("v", 1.0, 3.0) == [(1.0, 2.0), (2.0, 4.0)]
+    assert reg.mean_in("v", 1.0, 3.0) == 3.0
+    assert math.isnan(reg.mean_in("v", 10.0, 20.0))
+    with pytest.raises(KeyError):
+        reg.series("nope")
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MetricsRegistry(scrape_period=0.0)
+    with pytest.raises(ValueError):
+        MetricsRegistry(series_capacity=0)

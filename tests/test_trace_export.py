@@ -7,6 +7,7 @@ import pytest
 from repro.apps import build_app
 from repro.core import simulate
 from repro.tracing import (
+    SCHEMA_VERSION,
     Span,
     Trace,
     traces_from_json,
@@ -50,11 +51,40 @@ def test_round_trip_preserves_structure_and_times():
             orig.root.children[0].app_time, abs=1e-5)
 
 
-def test_export_is_valid_json_array():
+def test_export_is_versioned_envelope():
     payload = traces_to_json([make_trace()], indent=2)
     data = json.loads(payload)
-    assert isinstance(data, list)
-    assert all("timestamp" in r for r in data)
+    assert data["schemaVersion"] == SCHEMA_VERSION == 2
+    assert isinstance(data["spans"], list)
+    assert all("timestamp" in r for r in data["spans"])
+
+
+def test_import_accepts_legacy_v1_bare_array():
+    payload = traces_to_json([make_trace()])
+    legacy = json.dumps(json.loads(payload)["spans"])
+    restored = traces_from_json(legacy)
+    assert len(restored) == 1
+    assert restored[0].operation == "get"
+
+
+def test_import_rejects_unknown_schema_version():
+    with pytest.raises(ValueError):
+        traces_from_json(json.dumps({"schemaVersion": 99, "spans": []}))
+
+
+def test_retry_count_and_status_round_trip():
+    child = Span(service="cache", operation="get", start=1.0, end=1.5,
+                 app_time=0.1, retries=3, status="timeout")
+    root = Span(service="web", operation="get", start=0.0, end=2.0,
+                app_time=0.5, retries=1, children=[child])
+    trace = Trace(operation="get", root=root, user=9)
+    restored = traces_from_json(traces_to_json([trace]))[0]
+    back_root = restored.root
+    assert back_root.retries == 1
+    assert back_root.status == "ok"
+    assert back_root.children[0].retries == 3
+    assert back_root.children[0].status == "timeout"
+    assert restored.retry_count() == trace.retry_count() == 4
 
 
 def test_real_simulation_traces_round_trip():
