@@ -20,6 +20,14 @@ Quick start::
 
 from .analytic import AnalyticModel
 from .apps import app_names, build_app, build_monolith
+from .chaos import (
+    FaultSchedule,
+    Scorecard,
+    SteadyStateHypothesis,
+    run_chaos_scenario,
+    run_chaos_suite,
+)
+from .cluster import HealthCheckConfig, HealthChecker
 from .core import (
     DeathStarBench,
     Deployment,
@@ -53,18 +61,25 @@ __all__ = [
     "DeathStarBench",
     "Deployment",
     "ExperimentResult",
+    "FaultSchedule",
+    "HealthCheckConfig",
+    "HealthChecker",
     "LoadShedder",
     "MetricsRegistry",
     "Operation",
     "QoSReport",
     "QoSTarget",
     "ResiliencePolicy",
+    "Scorecard",
     "ServiceDefinition",
+    "SteadyStateHypothesis",
     "app_names",
     "attribute_qos_violations",
     "balanced_provision",
     "build_app",
     "build_monolith",
+    "run_chaos_scenario",
+    "run_chaos_suite",
     "run_experiment",
     "simulate",
     "to_prometheus_text",

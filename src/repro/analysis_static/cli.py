@@ -44,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--apps-only", action="store_true",
         help="only validate the registered application graphs")
     parser.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip fault-schedule validation of the registered chaos "
+             "scenarios (FAULT001-FAULT003)")
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the rule table and exit")
     return parser
@@ -96,6 +100,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         apps_checked = len(per_app)
         for app_findings in per_app.values():
             findings.extend(app_findings)
+
+    if not args.no_apps and not args.no_chaos and not args.apps_only:
+        # Registered chaos scenarios must build valid fault schedules
+        # against a canonical deployment (FAULT001-FAULT003).
+        from .faultcheck import check_scenarios
+        chaos_findings, _ = check_scenarios()
+        findings.extend(chaos_findings)
 
     if select is not None:
         findings = [f for f in findings if f.code in select]

@@ -1,0 +1,272 @@
+"""Static validation of fault schedules (FAULT001-FAULT003).
+
+A chaos schedule is a program: it has targets that must resolve, a
+timeline that must be ordered, and composition hazards (two faults
+fighting over one machine's restore state, or overlapping outages
+silently taking a tier to zero live capacity) that are bugs in the
+*experiment*, not in the system under test.  This module checks all of
+that **before** the simulation runs, the same way :mod:`.topology`
+checks service graphs — returning :class:`~.rules.Finding` objects in
+the shared rule vocabulary so ``repro lint`` and CI speak one format.
+
+Rules
+-----
+``FAULT001``
+    Broken timeline: negative start, non-positive duration (a repair
+    scheduled at or before its failure), or a non-finite instant.
+``FAULT002``
+    Conflicting overlap: two faults injecting into the same machine /
+    service / zone link at once (the second revert restores the wrong
+    "prior" state), or overlapping crash faults whose *union* covers
+    every replica of a tier that neither alone kills — zero live
+    capacity, almost always an unintended schedule, not an experiment.
+    A single multi-machine fault (zone outage) that flattens a whole
+    tier is reported as a warning: legitimate experiments do that on
+    purpose, but the scorecard reader should know.
+``FAULT003``
+    Dangling target: a machine, service, replica index, or zone the
+    deployment does not actually have.  A fault that targets nothing
+    runs green and measures nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .rules import Finding, Severity
+
+__all__ = ["FaultScheduleError", "validate_schedule", "check_scenarios"]
+
+_CRASH_KINDS = ("machine_crash", "correlated_crash", "zone_outage")
+_SERVICE_KINDS = ("datastore_slowdown", "gray_failure")
+_LINK_KINDS = ("partition", "link_degradation")
+
+_INF = float("inf")
+
+
+class FaultScheduleError(ValueError):
+    """An invalid fault schedule, carrying the findings."""
+
+    def __init__(self, findings: List[Finding]):
+        self.findings = list(findings)
+        lines = [f.format() for f in self.findings]
+        super().__init__("invalid fault schedule:\n" + "\n".join(lines))
+
+
+def _finding(code: str, message: str, path: str,
+             severity: str = Severity.ERROR) -> Finding:
+    return Finding(code=code, message=message, path=path,
+                   severity=severity)
+
+
+def _window(fault) -> Tuple[float, float]:
+    end = fault.end
+    return (fault.start, _INF if end is None else end)
+
+
+def _overlaps(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    # Touching endpoints do not overlap: the earlier fault's revert is
+    # armed before the later fault's inject, so the order is settled.
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _check_timeline(fault, path: str) -> List[Finding]:
+    out = []
+    start, duration = fault.start, fault.duration
+    if not math.isfinite(start) or start < 0:
+        out.append(_finding(
+            "FAULT001",
+            f"fault {fault.name!r} starts at {start!r}; "
+            "start must be finite and >= 0", path))
+    if duration is not None and (not math.isfinite(duration)
+                                 or duration <= 0):
+        out.append(_finding(
+            "FAULT001",
+            f"fault {fault.name!r} has duration {duration!r}; the "
+            "repair would come at or before the failure", path))
+    return out
+
+
+def _check_targets(fault, ctx, known_zones, path: str
+                   ) -> Tuple[List[Finding], Optional[object]]:
+    """FAULT003 findings plus the resolved targets (None if broken)."""
+    out: List[Finding] = []
+    try:
+        targets = fault.targets(ctx)
+    except ValueError as exc:
+        out.append(_finding("FAULT003",
+                            f"fault {fault.name!r}: {exc}", path))
+        return out, None
+    app = ctx.deployment.app
+    for service in targets.services:
+        if service not in app.services:
+            out.append(_finding(
+                "FAULT003",
+                f"fault {fault.name!r} targets unknown service "
+                f"{service!r}", path))
+    if fault.kind in _LINK_KINDS:
+        for zone in targets.zones:
+            if zone not in known_zones:
+                out.append(_finding(
+                    "FAULT003",
+                    f"fault {fault.name!r} targets zone {zone!r}, "
+                    "which has no machines (and is not 'client')",
+                    path))
+    if fault.kind == "gray_failure" \
+            and fault.service in app.services:
+        replicas = len(ctx.deployment.instances_of(fault.service))
+        if fault.replica >= replicas:
+            out.append(_finding(
+                "FAULT003",
+                f"fault {fault.name!r} targets replica "
+                f"#{fault.replica} but {fault.service!r} has "
+                f"{replicas}", path))
+    return out, targets
+
+
+def _tier_hosts(deployment) -> List[Tuple[str, frozenset]]:
+    """(service, machine ids hosting its replicas), in sorted order."""
+    out = []
+    for service in sorted(deployment.service_names()):
+        hosts = frozenset(inst.machine.machine_id
+                          for inst in deployment.instances_of(service))
+        out.append((service, hosts))
+    return out
+
+
+def _check_conflicts(faults, targets_by_idx, deployment,
+                     path: str) -> List[Finding]:
+    out: List[Finding] = []
+    idxs = [i for i in range(len(faults)) if targets_by_idx[i]]
+
+    # Pairwise same-target overlap: the later revert restores the
+    # earlier fault's injected state as if it were healthy.
+    for pos, i in enumerate(idxs):
+        for j in idxs[pos + 1:]:
+            a, b = faults[i], faults[j]
+            if not _overlaps(_window(a), _window(b)):
+                continue
+            ta, tb = targets_by_idx[i], targets_by_idx[j]
+            shared: List[str] = []
+            if a.kind in _CRASH_KINDS and b.kind in _CRASH_KINDS:
+                shared = sorted(set(ta.machines) & set(tb.machines))
+                what = "machine"
+            elif a.kind in _SERVICE_KINDS and b.kind in _SERVICE_KINDS:
+                shared = sorted(set(ta.services) & set(tb.services))
+                what = "service"
+            elif a.kind in _LINK_KINDS and b.kind in _LINK_KINDS:
+                shared = sorted(set(ta.zones) & set(tb.zones))
+                what = "zone link at"
+            if shared:
+                out.append(_finding(
+                    "FAULT002",
+                    f"faults {a.name!r} and {b.name!r} overlap on "
+                    f"{what} {', '.join(shared)}; the second revert "
+                    "would restore faulted state as healthy", path))
+
+    # Zero-capacity analysis: sweep the crash timeline and check
+    # whether the union of down machines ever covers a whole tier.
+    crash_idxs = [i for i in idxs if faults[i].kind in _CRASH_KINDS]
+    tiers = _tier_hosts(deployment)
+
+    # A single multi-machine fault flattening whole tiers: one warning
+    # per fault (intentional in zone-outage experiments, but the
+    # scorecard reader should know those tiers measure nothing).
+    for i in crash_idxs:
+        down = frozenset(targets_by_idx[i].machines)
+        if len(down) < 2:
+            continue
+        flattened = [service for service, hosts in tiers
+                     if hosts and hosts <= down]
+        if flattened:
+            shown = ", ".join(flattened[:5])
+            if len(flattened) > 5:
+                shown += f", ... ({len(flattened) - 5} more)"
+            out.append(_finding(
+                "FAULT002",
+                f"fault {faults[i].name!r} takes every replica of "
+                f"{len(flattened)} tier(s) down at once (zero live "
+                f"capacity): {shown}", path,
+                severity=Severity.WARNING))
+
+    if len(crash_idxs) >= 2:
+        bounds = sorted({t for i in crash_idxs for t in _window(faults[i])
+                         if math.isfinite(t)})
+        bounds.append(_INF)
+        seen = set()
+        for t0, t1 in zip(bounds, bounds[1:]):
+            active = [i for i in crash_idxs
+                      if _window(faults[i])[0] <= t0
+                      and _window(faults[i])[1] >= t1]
+            if len(active) < 2:
+                continue
+            down = frozenset(m for i in active
+                             for m in targets_by_idx[i].machines)
+            for service, hosts in tiers:
+                if not hosts or not hosts <= down:
+                    continue
+                if any(hosts <= frozenset(targets_by_idx[i].machines)
+                       for i in active):
+                    continue  # one fault alone does it: warned above
+                key = (service, frozenset(active))
+                if key in seen:
+                    continue
+                seen.add(key)
+                names = ", ".join(repr(faults[i].name)
+                                  for i in sorted(active))
+                out.append(_finding(
+                    "FAULT002",
+                    f"overlapping faults {names} jointly take every "
+                    f"replica of {service!r} down (zero live "
+                    "capacity)", path))
+    return out
+
+
+def validate_schedule(schedule, deployment,
+                      path: str = "<schedule>") -> List[Finding]:
+    """All FAULT findings for a schedule against a live deployment."""
+    from ..chaos.faults import ChaosContext
+    ctx = ChaosContext(deployment)
+    known_zones = sorted({m.zone for m in deployment.cluster.machines}
+                         | {"client"})
+    findings: List[Finding] = []
+    faults = list(schedule)
+    targets_by_idx = {}
+    for i, fault in enumerate(faults):
+        findings.extend(_check_timeline(fault, path))
+        target_findings, targets = _check_targets(
+            fault, ctx, known_zones, path)
+        findings.extend(target_findings)
+        targets_by_idx[i] = targets
+    findings.extend(
+        _check_conflicts(faults, targets_by_idx, deployment, path))
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+def check_scenarios(app_name: str = "social_network",
+                    machines: int = 4,
+                    ) -> Tuple[List[Finding], int]:
+    """Validate every registered chaos scenario against a canonical
+    deployment.  Returns (findings, scenarios checked) — the lint
+    CLI's chaos pass."""
+    from ..apps.registry import build_app
+    from ..arch.platform import XEON
+    from ..chaos.scenarios import SCENARIOS
+    from ..cluster.cluster import Cluster
+    from ..core.deployment import Deployment
+    from ..sim.engine import Environment
+
+    findings: List[Finding] = []
+    checked = 0
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        env = Environment()
+        cluster = Cluster.homogeneous(env, XEON, machines)
+        deployment = Deployment(env, build_app(app_name), cluster)
+        schedule = scenario.build(deployment, duration=60.0)
+        findings.extend(validate_schedule(
+            schedule, deployment, path=f"scenario:{name}"))
+        checked += 1
+    return findings, checked

@@ -94,6 +94,24 @@ ALL_RULES: Dict[str, tuple] = {
         "lower max_retries along the chain or raise "
         "retry_budget_ratio; unbudgeted retries storm under overload",
     ),
+    "FAULT001": (
+        "fault timeline is invalid (negative start, non-positive "
+        "duration, or repair scheduled before failure)",
+        "give every fault a start >= 0 and a positive duration (or "
+        "None for a permanent fault)",
+    ),
+    "FAULT002": (
+        "overlapping faults conflict: same target injected twice, or "
+        "outages jointly taking a tier to zero live capacity",
+        "stagger the windows, or target disjoint machines/services; "
+        "a tier with every replica down makes the run vacuous",
+    ),
+    "FAULT003": (
+        "fault targets something the deployment does not have "
+        "(unknown machine, service, replica, or empty zone)",
+        "fix the target name/index, or build the schedule from the "
+        "deployment so targets resolve",
+    ),
 }
 
 

@@ -1,0 +1,44 @@
+"""Chaos engineering for the simulator: deterministic fault schedules,
+health-check-driven failover, and resilience scorecards.
+
+The layer has four pieces that compose bottom-up:
+
+* :mod:`.faults` — the injector taxonomy behind one :class:`Fault`
+  interface (machine crash with cold-cache restart, zone outage,
+  network partition, link degradation, datastore brownout, gray
+  failure);
+* :mod:`.schedule` — :class:`FaultSchedule` places injectors on the
+  simulation clock, validates the composition statically, and logs
+  what actually fired;
+* :mod:`.scenarios` — named recipes resolving targets from any
+  deployment (the ``repro chaos`` suite);
+* :mod:`.harness` / :mod:`.scorecard` — run a scenario against a
+  steady-state hypothesis and grade detection time, MTTR, blast
+  radius, and goodput lost.
+
+Failure *detection and recovery* is deliberately not here: it lives in
+:mod:`repro.cluster.health`, because how fast a system notices and
+replaces a dead replica is a property of the system under test.
+"""
+
+from .faults import (ChaosContext, CorrelatedCrash, DatastoreSlowdown,
+                     Fault, FaultTargets, GrayFailure, LinkDegradation,
+                     MachineCrash, NetworkPartition, ZoneOutage)
+from .harness import ChaosRun, run_chaos_scenario, run_chaos_suite
+from .scenarios import (DEFAULT_SUITE, SCENARIOS, ChaosScenario,
+                        register_scenario, scenario, scenario_names)
+from .schedule import ChaosEvent, ChaosLog, FaultSchedule
+from .scorecard import (Scorecard, SteadyStateHypothesis,
+                        build_scorecard)
+
+__all__ = [
+    "Fault", "FaultTargets", "ChaosContext",
+    "MachineCrash", "CorrelatedCrash", "ZoneOutage",
+    "NetworkPartition", "LinkDegradation", "DatastoreSlowdown",
+    "GrayFailure",
+    "FaultSchedule", "ChaosLog", "ChaosEvent",
+    "ChaosScenario", "SCENARIOS", "DEFAULT_SUITE",
+    "register_scenario", "scenario", "scenario_names",
+    "ChaosRun", "run_chaos_scenario", "run_chaos_suite",
+    "Scorecard", "SteadyStateHypothesis", "build_scorecard",
+]

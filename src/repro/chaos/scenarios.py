@@ -1,0 +1,215 @@
+"""The scenario library: named, reusable chaos compositions.
+
+A :class:`ChaosScenario` is a *recipe* — a builder that, given a live
+deployment and the run duration, returns a concrete
+:class:`~repro.chaos.schedule.FaultSchedule`.  Recipes resolve their
+targets from the deployment deterministically (sorted names, replica
+zero, lowest machine index), so the same scenario on the same app with
+the same seed is the same schedule, byte for byte.
+
+The built-in suite covers the taxonomy end to end:
+
+``baseline``        no faults — verifies the steady-state hypothesis
+``machine_crash``   the machine hosting a backing store dies mid-run
+``store_brownout``  a datastore's per-request work inflates 5x
+``gray_replica``    one replica of the widest tier silently runs slow
+``net_degrade``     packet loss + added latency inside the cluster
+``partition``       a zone pair is cut (falls back to heavy loss when
+                    the cluster has a single zone)
+``zone_outage``     a whole zone (or a correlated machine group) dies
+
+Fractions of the run, not absolute seconds, position every fault, so
+the same scenario scales from a 10 s smoke run to a 10 min study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Dict, List
+
+from ..services.definition import ServiceKind
+from .faults import (CorrelatedCrash, DatastoreSlowdown, GrayFailure,
+                     LinkDegradation, MachineCrash, NetworkPartition,
+                     ZoneOutage)
+from .schedule import FaultSchedule
+
+__all__ = ["ChaosScenario", "SCENARIOS", "register_scenario",
+           "scenario", "scenario_names", "DEFAULT_SUITE"]
+
+#: Service kinds that count as backing stores for victim selection.
+_STORE_KINDS = (ServiceKind.DATABASE, ServiceKind.CACHE,
+                ServiceKind.QUEUE)
+
+
+@dataclass
+class ChaosScenario:
+    """A named recipe producing a fault schedule for any deployment."""
+
+    name: str
+    description: str
+    builder: Callable[..., FaultSchedule]
+
+    def build(self, deployment, duration: float) -> FaultSchedule:
+        """The concrete schedule for this deployment and run length."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        return self.builder(deployment, duration)
+
+
+SCENARIOS: Dict[str, ChaosScenario] = {}
+
+
+def register_scenario(scn: ChaosScenario) -> ChaosScenario:
+    """Add a scenario to the registry (name collisions are bugs)."""
+    if scn.name in SCENARIOS:
+        raise ValueError(f"scenario {scn.name!r} already registered")
+    SCENARIOS[scn.name] = scn
+    return scn
+
+
+def scenario(name: str) -> ChaosScenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+# -- deterministic victim selection -----------------------------------
+def _victim_store(deployment) -> str:
+    """The backing store to attack: fewest replicas, then sorted name;
+    falls back to the last service in sorted order (never the entry)."""
+    app = deployment.app
+    stores = sorted(
+        (name for name, svc in sorted(app.services.items())
+         if svc.kind in _STORE_KINDS),
+        key=lambda name: (len(deployment.instances_of(name)), name))
+    if stores:
+        return stores[0]
+    names = sorted(app.services)
+    non_entry = [n for n in names if n != app.entry_service]
+    return (non_entry or names)[-1]
+
+
+def _widest_tier(deployment) -> str:
+    """The service with the most replicas (sorted name breaks ties)."""
+    return min(sorted(deployment.service_names()),
+               key=lambda name: -len(deployment.instances_of(name)))
+
+
+def _zones(deployment) -> List[str]:
+    return sorted({m.zone for m in deployment.cluster.machines})
+
+
+# -- builders ---------------------------------------------------------
+def _baseline(deployment, duration: float) -> FaultSchedule:
+    return FaultSchedule()
+
+
+def _machine_crash(deployment, duration: float) -> FaultSchedule:
+    victim = _victim_store(deployment)
+    machine = deployment.instances_of(victim)[0].machine
+    return FaultSchedule([
+        MachineCrash(machine, start=0.35 * duration,
+                     duration=0.40 * duration),
+    ])
+
+
+def _store_brownout(deployment, duration: float) -> FaultSchedule:
+    victim = _victim_store(deployment)
+    return FaultSchedule([
+        DatastoreSlowdown(victim, factor=5.0, start=0.35 * duration,
+                          duration=0.30 * duration),
+    ])
+
+
+def _gray_replica(deployment, duration: float) -> FaultSchedule:
+    service = _widest_tier(deployment)
+    return FaultSchedule([
+        GrayFailure(service, replica=0, speed_factor=0.25,
+                    start=0.30 * duration, duration=0.35 * duration),
+    ])
+
+
+def _net_degrade(deployment, duration: float) -> FaultSchedule:
+    zone = _zones(deployment)[0]
+    return FaultSchedule([
+        LinkDegradation(zone, zone, extra_latency=1e-3,
+                        loss_rate=0.02, rto=0.05,
+                        start=0.35 * duration,
+                        duration=0.30 * duration),
+    ])
+
+
+def _partition(deployment, duration: float) -> FaultSchedule:
+    zones = _zones(deployment)
+    if len(zones) >= 2:
+        fault = NetworkPartition(zones[0], zones[1],
+                                 start=0.40 * duration,
+                                 duration=0.20 * duration)
+    else:
+        # Single-zone cluster: a partition would sever the app from
+        # itself entirely; model a near-partition as heavy loss.
+        fault = LinkDegradation(zones[0], zones[0], loss_rate=0.35,
+                                rto=0.1, start=0.40 * duration,
+                                duration=0.20 * duration,
+                                name="partition:heavy-loss")
+    return FaultSchedule([fault])
+
+
+def _zone_outage(deployment, duration: float) -> FaultSchedule:
+    zones = _zones(deployment)
+    if len(zones) >= 2:
+        # Take out a non-primary zone (the last in sorted order hosts
+        # the overflow/edge side in the built-in topologies).
+        fault = ZoneOutage(zones[-1], start=0.35 * duration,
+                           duration=0.35 * duration)
+    else:
+        machines = deployment.cluster.machines
+        group = machines[-max(1, ceil(len(machines) / 3)):]
+        fault = CorrelatedCrash(group, start=0.35 * duration,
+                                duration=0.35 * duration,
+                                name="zone_outage:correlated")
+    return FaultSchedule([fault])
+
+
+register_scenario(ChaosScenario(
+    "baseline", "no faults: verify the steady-state hypothesis",
+    _baseline))
+register_scenario(ChaosScenario(
+    "machine_crash",
+    "the machine hosting a backing store dies mid-run, then restarts",
+    _machine_crash))
+register_scenario(ChaosScenario(
+    "store_brownout",
+    "a datastore browns out: per-request work inflates 5x",
+    _store_brownout))
+register_scenario(ChaosScenario(
+    "gray_replica",
+    "one replica of the widest tier silently runs at quarter speed",
+    _gray_replica))
+register_scenario(ChaosScenario(
+    "net_degrade",
+    "intra-cluster packet loss and added latency",
+    _net_degrade))
+register_scenario(ChaosScenario(
+    "partition",
+    "a zone pair is cut (heavy loss when single-zone)",
+    _partition))
+register_scenario(ChaosScenario(
+    "zone_outage",
+    "a whole zone (or correlated machine group) goes down together",
+    _zone_outage))
+
+#: The order the CLI and CI smoke suite run by default.
+DEFAULT_SUITE = ["baseline", "machine_crash", "store_brownout",
+                 "gray_replica", "net_degrade", "partition",
+                 "zone_outage"]

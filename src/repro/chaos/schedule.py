@@ -1,0 +1,152 @@
+"""Fault schedules: composing injectors on a deterministic timeline.
+
+A :class:`FaultSchedule` is an ordered set of :class:`~repro.chaos.
+faults.Fault` objects, each carrying its own ``start``/``duration``.
+Arming the schedule validates the composition (see
+:mod:`repro.analysis_static.faultcheck`) and registers one simulation
+process per fault, in deterministic ``(start, insertion index)`` order
+— so two runs with the same seed and the same schedule are
+byte-identical, and the only way to "race" two faults is to write the
+race into the schedule, where the validator will flag it.
+
+The schedule keeps a :class:`ChaosLog` of every inject/revert with its
+sim timestamp; scorecards use it to anchor detection time and MTTR to
+the actual injection instant rather than to the requested one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .faults import ChaosContext, Fault
+
+__all__ = ["FaultSchedule", "ChaosLog", "ChaosEvent"]
+
+
+@dataclass
+class ChaosEvent:
+    """One transition on the chaos timeline."""
+
+    time: float
+    fault: str
+    kind: str
+    phase: str  # "inject" | "revert"
+
+
+class ChaosLog:
+    """What the schedule actually did, with sim timestamps."""
+
+    def __init__(self):
+        self.events: List[ChaosEvent] = []
+
+    def record(self, time: float, fault: Fault, phase: str) -> None:
+        self.events.append(
+            ChaosEvent(time=time, fault=fault.name, kind=fault.kind,
+                       phase=phase))
+
+    def injected_at(self, fault_name: str) -> Optional[float]:
+        """When the named fault was injected, or None."""
+        for event in self.events:
+            if event.fault == fault_name and event.phase == "inject":
+                return event.time
+        return None
+
+    def reverted_at(self, fault_name: str) -> Optional[float]:
+        """When the named fault was reverted, or None (still active)."""
+        for event in self.events:
+            if event.fault == fault_name and event.phase == "revert":
+                return event.time
+        return None
+
+    def windows(self) -> List[Tuple[str, float, Optional[float]]]:
+        """(fault, inject time, revert time or None) per injection."""
+        out = []
+        for event in self.events:
+            if event.phase == "inject":
+                out.append((event.fault, event.time,
+                            self.reverted_at(event.fault)))
+        return out
+
+    def first_injection(self) -> Optional[float]:
+        """Sim time of the earliest injection, or None (no faults)."""
+        times = [e.time for e in self.events if e.phase == "inject"]
+        return min(times) if times else None
+
+
+class FaultSchedule:
+    """An ordered composition of faults on the simulation clock."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self.faults: List[Fault] = []
+        for fault in faults:
+            self.add(fault)
+        self.log = ChaosLog()
+        self._armed = False
+
+    def add(self, fault: Fault) -> Fault:
+        """Append a fault to the schedule (returns it, for chaining)."""
+        if not isinstance(fault, Fault):
+            raise TypeError(f"not a Fault: {fault!r}")
+        self.faults.append(fault)
+        return fault
+
+    def validate(self, deployment) -> List:
+        """Static findings for this schedule against a deployment
+        (see :mod:`repro.analysis_static.faultcheck`)."""
+        from ..analysis_static.faultcheck import validate_schedule
+        return validate_schedule(self, deployment)
+
+    def arm(self, deployment, validate: bool = True) -> ChaosLog:
+        """Register one process per fault on the deployment's clock.
+
+        With ``validate=True`` (the default) the schedule is checked
+        first and arming fails on any error-severity finding — a bad
+        schedule should die before the run burns simulated hours.
+        """
+        if self._armed:
+            raise RuntimeError("schedule is already armed")
+        if validate:
+            from ..analysis_static.faultcheck import (
+                FaultScheduleError, validate_schedule)
+            findings = validate_schedule(self, deployment)
+            errors = [f for f in findings if f.severity == "error"]
+            if errors:
+                raise FaultScheduleError(errors)
+        self._armed = True
+        ctx = ChaosContext(deployment)
+        base = deployment.env.now
+        order = sorted(range(len(self.faults)),
+                       key=lambda i: (self.faults[i].start, i))
+        for idx in order:
+            fault = self.faults[idx]
+            deployment.env.process(
+                self._drive(ctx, fault, base),
+                name=f"chaos:{fault.name}")
+        return self.log
+
+    def _drive(self, ctx: ChaosContext, fault: Fault, base: float):
+        env = ctx.env
+        yield env.timeout(base + fault.start - env.now)
+        fault.inject(ctx)
+        self.log.record(env.now, fault, "inject")
+        if fault.duration is not None:
+            yield env.timeout(fault.duration)
+            fault.revert(ctx)
+            self.log.record(env.now, fault, "revert")
+
+    def horizon(self) -> Optional[float]:
+        """Latest scheduled revert, or None if any fault is permanent
+        (or the schedule is empty)."""
+        if not self.faults:
+            return None
+        ends = [fault.end for fault in self.faults]
+        if any(end is None for end in ends):
+            return None
+        return max(ends)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)

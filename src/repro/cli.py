@@ -14,6 +14,12 @@ Commands
     Run one experiment and attribute QoS violations to culprit tiers
     (the Sec. 7 "which microservice started the cascade" analysis);
     ``--delay``/``--slow`` inject tier faults to provoke one.
+``chaos APP [--scenario NAME ...]``
+    Run chaos scenarios (deterministic fault schedules with optional
+    health-checked failover) and print resilience scorecards:
+    detection time, MTTR, blast radius, goodput lost, attributed
+    culprit.  ``--out`` writes the scorecards as JSON; a steady-state
+    violation on a no-fault baseline exits non-zero.
 ``provision APP --qps N``
     Print the balanced replica allocation (Sec. 3.8) for a target load.
 ``sweep APP --qps A B C``
@@ -196,6 +202,80 @@ def _cmd_report_qos(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import (DEFAULT_SUITE, run_chaos_suite, scenario,
+                        scenario_names)
+    from .cluster.health import HealthCheckConfig
+    if args.list_scenarios:
+        rows = [[name, scenario(name).description]
+                for name in scenario_names()]
+        print(format_table(["scenario", "description"], rows,
+                           title="chaos scenarios"))
+        return 0
+    if not args.app:
+        print("error: APP is required (or use --list-scenarios)",
+              file=sys.stderr)
+        return 2
+    names = args.scenario or DEFAULT_SUITE
+    unknown = [n for n in names if n not in scenario_names()]
+    if unknown:
+        print(f"error: unknown scenario(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    failover = False if args.no_failover else HealthCheckConfig(
+        probe_interval=args.probe_interval,
+        provision_delay=args.provision_delay)
+    runs = run_chaos_suite(
+        app, names, qps=args.qps, duration=args.duration,
+        n_machines=args.machines, replicas=replicas, seed=args.seed,
+        failover=failover, default_policy=_resilience_policy(args))
+    for run in runs:
+        print(run.scorecard.render())
+        print()
+
+    def fmt(value, unit="s"):
+        return "-" if value is None else f"{value:.2f}{unit}"
+
+    rows = [[run.scenario,
+             "held" if run.scorecard.steady_state_ok else "VIOLATED",
+             fmt(run.scorecard.detection_time),
+             fmt(run.scorecard.mttr),
+             f"{run.scorecard.blast_radius:.1f}",
+             f"{run.scorecard.goodput_lost * 100:.1f}%",
+             run.scorecard.attributed or "-"]
+            for run in runs]
+    print(format_table(
+        ["scenario", "steady state", "detection", "MTTR",
+         "blast (tier-s)", "goodput lost", "attributed"], rows,
+        title=f"{app.name} chaos suite @ {args.qps:g} QPS"))
+
+    if args.out:
+        import json
+        payload = {
+            "app": app.name, "qps": args.qps,
+            "duration": args.duration, "seed": args.seed,
+            "failover": not args.no_failover,
+            "scenarios": [run.scorecard.to_dict() for run in runs],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"scorecards written to {args.out}")
+
+    # A broken steady state on a no-fault baseline means the suite is
+    # not measuring resilience at all — fail loudly (CI keys off this).
+    broken = [run.scenario for run in runs
+              if run.scorecard.fault_count == 0
+              and not run.scorecard.steady_state_ok]
+    if broken:
+        print(f"error: steady-state hypothesis violated without faults "
+              f"in: {', '.join(broken)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_provision(args) -> int:
     app = build_app(args.app)
     replicas = balanced_provision(app, target_qps=args.qps,
@@ -300,6 +380,36 @@ def build_parser() -> argparse.ArgumentParser:
                    action="append", default=[],
                    help="multiply one tier's CPU work (repeatable)")
 
+    p = sub.add_parser(
+        "chaos", help="run chaos scenarios and print scorecards")
+    p.add_argument("app", nargs="?", choices=app_names())
+    p.add_argument("--scenario", action="append", default=[],
+                   metavar="NAME",
+                   help="scenario to run (repeatable; default: the "
+                        "built-in suite)")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="list registered scenarios and exit")
+    p.add_argument("--qps", type=float, default=60.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-failover", action="store_true",
+                   help="disable health-checked failover (drain-only "
+                        "recovery)")
+    p.add_argument("--probe-interval", type=_positive_float,
+                   default=0.5, help="health probe cadence in seconds")
+    p.add_argument("--provision-delay", type=_positive_float,
+                   default=3.0,
+                   help="replacement provisioning delay in seconds")
+    p.add_argument("--retries", type=_nonnegative_int, default=0,
+                   help="max retries per RPC (default: no retries)")
+    p.add_argument("--rpc-timeout", type=_positive_float, default=None,
+                   help="per-RPC timeout in seconds")
+    p.add_argument("--breakers", action="store_true",
+                   help="enable per-edge circuit breakers")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the scorecards as JSON to FILE")
+
     p = sub.add_parser("provision", help="balanced provisioning")
     p.add_argument("app", choices=app_names())
     p.add_argument("--qps", type=float, default=300.0)
@@ -331,6 +441,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "simulate": _cmd_simulate,
     "report": _cmd_report_qos,
+    "chaos": _cmd_chaos,
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,
     "dot": _cmd_dot,

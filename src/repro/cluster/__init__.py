@@ -1,9 +1,11 @@
-"""Cluster substrate: machines, placement, balancing, autoscaling."""
+"""Cluster substrate: machines, placement, balancing, autoscaling,
+health checking."""
 
 from .autoscaler import AutoscalerEvent, UtilizationAutoscaler
 from .depscaler import DependencyAwareAutoscaler
 from .cluster import Cluster
 from .faults import MachineOutage
+from .health import HealthCheckConfig, HealthChecker, HealthEvent
 from .loadbalancer import KeyHash, LeastOutstanding, LoadBalancer, RoundRobin
 from .machine import NIC_10G_KB_PER_S, Machine, ServiceInstance
 from .ratelimit import TokenBucket
@@ -12,6 +14,9 @@ __all__ = [
     "AutoscalerEvent",
     "Cluster",
     "DependencyAwareAutoscaler",
+    "HealthCheckConfig",
+    "HealthChecker",
+    "HealthEvent",
     "KeyHash",
     "LeastOutstanding",
     "LoadBalancer",

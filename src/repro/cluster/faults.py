@@ -1,22 +1,29 @@
-"""Fault injection: machine outages and recovery.
+"""Machine crash/restore mechanics and the legacy outage injector.
 
-Complements the slow-server and routing-misconfiguration injectors used
-by the Fig. 19/22 experiments with hard failures: a machine goes down,
-its replicas stop taking traffic, and capacity returns after a repair
-time.  Singleton tiers (only replica lives on the failed machine)
-cannot be drained, so they are frozen at a crawl instead — which is
-exactly the scenario where a microservice graph's blast radius dwarfs a
-replicated monolith's.
+The low-level mechanics of taking one machine out of service live here
+(shared by the chaos layer): drain its replicas from their load
+balancers, freeze the ones that cannot be drained (singleton tiers),
+and restore everything on repair.  Singleton tiers are frozen at a
+crawl rather than zeroed — the DES needs progress for queued work once
+the machine returns, and every request routed to a frozen replica blows
+any QoS, which is exactly the scenario where a microservice graph's
+blast radius dwarfs a replicated monolith's.
+
+:class:`MachineOutage` is kept as a thin compatibility shim over the
+:class:`~repro.chaos.faults.MachineCrash` fault; new code should build
+a :class:`~repro.chaos.FaultSchedule` instead.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..sim.engine import Environment
-from .machine import Machine
+from .machine import Machine, ServiceInstance
 
-__all__ = ["MachineOutage"]
+__all__ = ["MachineOutage", "CrashRecord", "crash_machine",
+           "restore_machine"]
 
 #: Effective speed of a "down" singleton's instance: not zero (the DES
 #: needs progress for queued work once the machine returns) but slow
@@ -24,51 +31,110 @@ __all__ = ["MachineOutage"]
 _FROZEN_FACTOR = 0.02
 
 
+@dataclass
+class CrashRecord:
+    """What one machine crash changed, so restore can undo exactly it."""
+
+    machine: Machine
+    drained: List[ServiceInstance] = field(default_factory=list)
+    frozen: bool = False
+    prior_slow_factor: Optional[float] = None
+
+
+def crash_machine(deployment, machine: Machine,
+                  frozen_factor: float = _FROZEN_FACTOR) -> CrashRecord:
+    """Take ``machine`` down: mark it, drain what can be drained, and
+    freeze the rest.  Returns the record :func:`restore_machine` needs."""
+    record = CrashRecord(machine=machine)
+    machine.down = True
+    for inst in list(machine.instances):
+        service = inst.definition.name
+        lb = deployment.load_balancer(service)
+        if len(lb.instances) > 1 and inst in lb.instances:
+            lb.remove(inst)
+            record.drained.append(inst)
+    if len(record.drained) < len(machine.instances):
+        record.frozen = True
+        record.prior_slow_factor = machine.slow_factor
+        machine.set_slow_factor(frozen_factor)
+    return record
+
+
+def restore_machine(deployment, record: CrashRecord) -> None:
+    """Bring a crashed machine back: restore its speed and re-add its
+    drained replicas to rotation.
+
+    Re-adding is guarded twice: an instance the balancer *already*
+    contains is skipped (a health-checked failover may have restored it
+    first — re-adding would double its traffic share), and an instance
+    that is no longer a replica of its service is skipped (the
+    autoscaler or failover controller retired it mid-outage)."""
+    machine = record.machine
+    machine.down = False
+    if record.frozen:
+        # Restore whatever factor the machine ran at before the outage
+        # froze it — a degraded machine stays degraded.
+        machine.set_slow_factor(record.prior_slow_factor)
+    for inst in record.drained:
+        service = inst.definition.name
+        if inst not in deployment.instances_of(service):
+            continue
+        lb = deployment.load_balancer(service)
+        if inst in lb.instances:
+            continue
+        lb.add(inst)
+    record.drained = []
+    record.frozen = False
+    record.prior_slow_factor = None
+
+
 class MachineOutage:
-    """Take one machine out of service, then repair it."""
+    """Take one machine out of service, then repair it.
+
+    Thin compatibility alias over :class:`repro.chaos.faults.
+    MachineCrash` (no cold-cache restart penalty, to preserve the
+    historical behaviour); prefer composing faults into a
+    :class:`~repro.chaos.FaultSchedule`.
+    """
 
     def __init__(self, env: Environment, deployment, machine: Machine):
+        # Imported lazily: repro.chaos builds on this module.
+        from ..chaos.faults import ChaosContext, MachineCrash
         self.env = env
         self.deployment = deployment
         self.machine = machine
-        self.drained: List = []
-        self.frozen = False
-        self.active = False
-        self._prior_slow_factor: Optional[float] = None
+        self._fault = MachineCrash(machine, cold_cache=False)
+        self._ctx = ChaosContext(deployment)
+
+    @property
+    def active(self) -> bool:
+        """True while the machine is failed."""
+        return self._fault.active
+
+    @property
+    def drained(self) -> List[ServiceInstance]:
+        """Replicas currently drained from their balancers."""
+        record = self._fault.record
+        return record.drained if record is not None else []
+
+    @property
+    def frozen(self) -> bool:
+        """True when a singleton replica froze the machine instead."""
+        record = self._fault.record
+        return record.frozen if record is not None else False
 
     def fail(self) -> None:
         """Remove the machine's replicas from rotation; freeze the
         ones that cannot be removed (singletons)."""
         if self.active:
             raise RuntimeError("machine already failed")
-        self.active = True
-        for inst in list(self.machine.instances):
-            service = inst.definition.name
-            lb = self.deployment.load_balancer(service)
-            if len(lb.instances) > 1 and inst in lb.instances:
-                lb.remove(inst)
-                self.drained.append(inst)
-        if len(self.drained) < len(self.machine.instances):
-            self.frozen = True
-        if self.frozen:
-            self._prior_slow_factor = self.machine.slow_factor
-            self.machine.set_slow_factor(_FROZEN_FACTOR)
+        self._fault.inject(self._ctx)
 
     def repair(self) -> None:
         """Bring the machine back: restore speed, re-add replicas."""
         if not self.active:
             raise RuntimeError("machine is not failed")
-        self.active = False
-        if self.frozen:
-            # Restore whatever factor the machine ran at before the
-            # outage froze it — a degraded machine stays degraded.
-            self.machine.set_slow_factor(self._prior_slow_factor)
-            self._prior_slow_factor = None
-        for inst in self.drained:
-            service = inst.definition.name
-            self.deployment.load_balancer(service).add(inst)
-        self.drained = []
-        self.frozen = False
+        self._fault.revert(self._ctx)
 
     def schedule(self, fail_at: float,
                  repair_after: Optional[float] = None) -> None:

@@ -1,0 +1,245 @@
+"""Health checking and failover: detection as a modeled process.
+
+The chaos layer injects failures; this module models how the control
+plane *notices* and *reacts* — because recovery behaviour (detection
+latency, ejection, replacement provisioning) is a property of the
+system under test, not a line in the fault script.
+
+A :class:`HealthChecker` probes every replica on a fixed cadence.  A
+replica that fails ``unhealthy_threshold`` consecutive probes is
+*detected* (so detection latency is roughly ``probe_interval x
+unhealthy_threshold``, exactly the knob real orchestrators trade
+against false positives), ejected from its load balancer while
+redundancy remains, and — when ``replace`` is on — scheduled for
+replacement after a provisioning delay.  Once the replacement is live,
+a still-dead replica is retired; this is how a *frozen singleton* (see
+:mod:`repro.cluster.faults`) finally leaves rotation: the balancer
+refuses to drop its last replica, so the dead one keeps taking traffic
+until the replacement exists.
+
+Probes come in two strengths.  A *liveness* probe only checks that the
+replica answers (its machine is up).  A *latency-aware* probe also
+compares the replica's effective speed against the platform's healthy
+baseline, which is what it takes to catch a **gray failure** — a
+replica that answers promptly enough to look alive while running at a
+quarter speed.  ``false_positive_rate`` models probe flakiness: each
+healthy-replica probe spuriously fails with that probability, drawn
+from the deployment's seeded RNG streams (and only when the rate is
+non-zero, so configured-off checkers never perturb determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .machine import ServiceInstance
+
+__all__ = ["HealthCheckConfig", "HealthChecker", "HealthEvent"]
+
+
+@dataclass
+class HealthCheckConfig:
+    """Knobs of the probe/eject/replace control loop."""
+
+    #: Seconds between probe rounds.
+    probe_interval: float = 0.5
+    #: Consecutive failed probes before a replica is declared down.
+    unhealthy_threshold: int = 3
+    #: Consecutive passing probes before a down replica re-enters.
+    healthy_threshold: int = 2
+    #: Probability a probe of a healthy replica spuriously fails.
+    false_positive_rate: float = 0.0
+    #: Latency-aware probes also flag replicas running far below the
+    #: platform's healthy speed (gray failures); liveness-only probes
+    #: (False) miss them.
+    latency_aware: bool = True
+    #: A replica below this fraction of healthy speed fails a
+    #: latency-aware probe.
+    slow_speed_threshold: float = 0.5
+    #: Provision a replacement replica for confirmed-dead instances.
+    replace: bool = True
+    #: Seconds to provision a replacement (schedule, pull, warm up).
+    provision_delay: float = 3.0
+    #: Replacement budget per service (caps reschedule storms when a
+    #: correlated outage kills many replicas at once).
+    max_replacements: int = 2
+
+    def __post_init__(self):
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be > 0")
+        if self.unhealthy_threshold < 1 or self.healthy_threshold < 1:
+            raise ValueError("probe thresholds must be >= 1")
+        if not 0.0 <= self.false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in [0, 1)")
+        if not 0.0 < self.slow_speed_threshold <= 1.0:
+            raise ValueError("slow_speed_threshold must be in (0, 1]")
+        if self.provision_delay < 0:
+            raise ValueError("provision_delay must be >= 0")
+
+
+@dataclass
+class HealthEvent:
+    """One control-plane action, timestamped in sim time."""
+
+    time: float
+    service: str
+    instance: str
+    kind: str  # detected | ejected | replacement_started |
+    #          # replacement_live | retired | recovered | restored
+    detail: str = ""
+
+
+@dataclass
+class _ReplicaState:
+    """Probe bookkeeping for one replica."""
+
+    fails: int = 0
+    oks: int = 0
+    unhealthy: bool = False
+    ejected: bool = False
+    replacement_pending: bool = False
+
+
+class HealthChecker:
+    """Probe-driven failure detection, ejection, and replacement."""
+
+    def __init__(self, deployment,
+                 config: Optional[HealthCheckConfig] = None,
+                 services: Optional[Sequence[str]] = None):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.config = config or HealthCheckConfig()
+        self._services = sorted(services) if services is not None \
+            else None
+        self.events: List[HealthEvent] = []
+        self._state: Dict[str, _ReplicaState] = {}
+        self._replacements: Dict[str, int] = {}
+        self._process = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "HealthChecker":
+        """Begin probing (call before the experiment runs)."""
+        if self._process is None:
+            self._process = self.env.process(self._loop(),
+                                             name="health-checker")
+        return self
+
+    # -- introspection -------------------------------------------------
+    def first_detection(self, after: float = 0.0) -> Optional[float]:
+        """Sim time of the first detection at/after ``after``."""
+        for event in self.events:
+            if event.kind == "detected" and event.time >= after:
+                return event.time
+        return None
+
+    def unhealthy_count(self) -> int:
+        """Replicas currently confirmed unhealthy."""
+        return sum(1 for state in self._state.values()
+                   if state.unhealthy)
+
+    # -- probe model ---------------------------------------------------
+    def _ground_truth(self, inst: ServiceInstance) -> bool:
+        if inst.machine.down:
+            return False
+        if self.config.latency_aware:
+            healthy = inst.machine.platform.single_thread_factor
+            effective = inst.machine.core_speed() * inst.speed_factor
+            if effective < self.config.slow_speed_threshold * healthy:
+                return False
+        return True
+
+    def _probe(self, service: str, inst: ServiceInstance) -> bool:
+        ok = self._ground_truth(inst)
+        if ok and self.config.false_positive_rate > 0.0:
+            draw = self.deployment.rng.uniform("health.probe", 0.0, 1.0)
+            if draw < self.config.false_positive_rate:
+                return False
+        return ok
+
+    # -- control loop --------------------------------------------------
+    def _watched(self) -> List[str]:
+        if self._services is not None:
+            return self._services
+        return sorted(self.deployment.service_names())
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.config.probe_interval)
+            for service in self._watched():
+                for inst in list(self.deployment.instances_of(service)):
+                    self._observe(service, inst, self._probe(service,
+                                                             inst))
+
+    def _observe(self, service: str, inst: ServiceInstance,
+                 ok: bool) -> None:
+        state = self._state.setdefault(inst.instance_id,
+                                       _ReplicaState())
+        if ok:
+            state.oks += 1
+            state.fails = 0
+            if state.unhealthy \
+                    and state.oks >= self.config.healthy_threshold:
+                self._mark_recovered(service, inst, state)
+        else:
+            state.fails += 1
+            state.oks = 0
+            if not state.unhealthy \
+                    and state.fails >= self.config.unhealthy_threshold:
+                self._mark_down(service, inst, state)
+
+    def _mark_down(self, service: str, inst: ServiceInstance,
+                   state: _ReplicaState) -> None:
+        state.unhealthy = True
+        self._event(service, inst, "detected",
+                    f"{state.fails} consecutive probe failures")
+        lb = self.deployment.load_balancer(service)
+        if inst in lb.instances and len(lb.instances) > 1:
+            lb.remove(inst)
+            state.ejected = True
+            self._event(service, inst, "ejected")
+        if self.config.replace and not state.replacement_pending:
+            used = self._replacements.get(service, 0)
+            if used < self.config.max_replacements:
+                self._replacements[service] = used + 1
+                state.replacement_pending = True
+                self.env.process(self._provision(service, inst),
+                                 name=f"health-replace:{service}")
+                self._event(service, inst, "replacement_started",
+                            f"provisioning {self.config.provision_delay:g}s")
+
+    def _mark_recovered(self, service: str, inst: ServiceInstance,
+                        state: _ReplicaState) -> None:
+        state.unhealthy = False
+        self._event(service, inst, "recovered",
+                    f"{state.oks} consecutive probes passed")
+        if inst not in self.deployment.instances_of(service):
+            return  # retired while down; nothing to restore
+        lb = self.deployment.load_balancer(service)
+        if state.ejected and inst not in lb.instances:
+            lb.add(inst)
+            self._event(service, inst, "restored")
+        state.ejected = False
+
+    def _provision(self, service: str, dead: ServiceInstance):
+        yield self.env.timeout(self.config.provision_delay)
+        replacement = self.deployment.add_instance(service)
+        self._event(service, replacement, "replacement_live",
+                    f"replacing {dead.instance_id}")
+        state = self._state.get(dead.instance_id)
+        if state is not None:
+            state.replacement_pending = False
+        still_deployed = dead in self.deployment.instances_of(service)
+        still_down = state is not None and state.unhealthy
+        if still_deployed and still_down:
+            # Now that redundancy exists, the dead replica — possibly a
+            # frozen singleton the balancer refused to drop — retires.
+            self.deployment.remove_instance(service, inst=dead)
+            self._event(service, dead, "retired")
+            self._state.pop(dead.instance_id, None)
+
+    def _event(self, service: str, inst: ServiceInstance, kind: str,
+               detail: str = "") -> None:
+        self.events.append(HealthEvent(
+            time=self.env.now, service=service,
+            instance=inst.instance_id, kind=kind, detail=detail))

@@ -54,6 +54,11 @@ class Machine:
         self.nic_tx = Resource(env, capacity=1)
         self.nic_rx = Resource(env, capacity=1)
         self.slow_factor = 1.0
+        #: Crash state (chaos injection): a down machine fails health
+        #: probes and is skipped by placement.  The flag is pure
+        #: signal — draining/freezing its replicas is the fault
+        #: injector's job (see :mod:`repro.chaos.faults`).
+        self.down = False
         self.instances: List["ServiceInstance"] = []
         #: Optional machine-wide CPU shared by colocated instances
         #: (see :meth:`enable_shared_cpu`); None means every instance

@@ -90,12 +90,17 @@ class SpreadPlacer:
         memory = memory_of(definition)
         machines = self._tracker.machines
         cursor = self._cursor.get(definition.name, 0)
+        # Down machines (chaos crash faults) take no new replicas: a
+        # replacement placed on the dead host would be born dead.
+        live = [i for i in range(len(machines)) if not machines[i].down]
+        if not live:
+            live = list(range(len(machines)))
         candidates = [
-            i for i in range(len(machines))
+            i for i in live
             if self._tracker.fits(machines[i], cores, memory)
         ]
         if not candidates:
-            candidates = list(range(len(machines)))  # oversubscribe
+            candidates = live  # oversubscribe
         best = min(candidates,
                    key=lambda i: (-machines[i].free_cores,
                                   (i - cursor) % len(machines)))
@@ -117,6 +122,8 @@ class BinPackPlacer:
         """First machine (in order) with room for the replica."""
         memory = memory_of(definition)
         for machine in self._tracker.machines:
+            if machine.down:
+                continue
             if self._tracker.fits(machine, cores, memory):
                 self._tracker.commit(machine, memory)
                 return machine

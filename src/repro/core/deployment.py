@@ -194,13 +194,26 @@ class Deployment:
         self._lbs[service].add(inst)
         return inst
 
-    def remove_instance(self, service: str) -> None:
-        """Scale a tier in by one replica (never below one)."""
+    def remove_instance(self, service: str,
+                        inst: Optional[ServiceInstance] = None) -> None:
+        """Scale a tier in by one replica (never below one).
+
+        Without ``inst`` the newest replica goes (autoscaler scale-in);
+        with it, that specific replica is decommissioned — how failover
+        retires a dead replica once its replacement is live."""
         instances = self._instances[service]
         if len(instances) <= 1:
             raise ValueError(f"cannot scale {service!r} below one replica")
-        inst = instances.pop()
-        self._lbs[service].remove(inst)
+        if inst is None:
+            inst = instances.pop()
+        else:
+            if inst not in instances:
+                raise ValueError(
+                    f"{inst.instance_id} is not a replica of {service!r}")
+            instances.remove(inst)
+        lb = self._lbs[service]
+        if inst in lb.instances:
+            lb.remove(inst)
         inst.detach()
 
     def slow_down_service(self, service: str, factor: float) -> None:
@@ -254,6 +267,12 @@ class Deployment:
             raise KeyError(f"unknown service {service!r}")
         self._cache_model[service] = (ratio, miss_penalty)
         self.cache_stats.setdefault(service, Counter())
+
+    def cache_model_of(self, service: str) -> Optional[Tuple[float, float]]:
+        """The ``(hit_ratio, miss_penalty)`` armed at a cache tier, or
+        None.  Chaos cold-restart faults read this to ramp a restarted
+        cache from cold back to its configured warm ratio."""
+        return self._cache_model.get(service)
 
     # -- resilience configuration ------------------------------------------
     def set_policy(self, policy: Optional[ResiliencePolicy],

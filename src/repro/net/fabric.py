@@ -17,14 +17,15 @@ of time in network processing vs. 5-20 % for monolithic services.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..sim.engine import Environment
+from ..sim.engine import Environment, Event
 from ..sim.rng import RandomStreams
 from .fpga import FpgaOffload
 from .protocols import IPC_COSTS, ProtocolCosts
 
-__all__ = ["NetworkFabric", "TransferTiming", "DEFAULT_ZONE_LATENCY"]
+__all__ = ["NetworkFabric", "TransferTiming", "LinkFault",
+           "DEFAULT_ZONE_LATENCY"]
 
 #: One-way propagation+switching latency per (src_zone, dst_zone), seconds.
 DEFAULT_ZONE_LATENCY: Dict[Tuple[str, str], float] = {
@@ -64,6 +65,31 @@ class TransferTiming:
 
 
 @dataclass
+class LinkFault:
+    """Degradation of one directed zone link (chaos injection).
+
+    ``loss_rate`` models per-message packet loss as TCP retransmission:
+    each lost transmission costs one ``rto`` before the retry, with up
+    to ``max_retransmits`` attempts (the draw is geometric and comes
+    from the fabric's seeded RNG, so faulty runs stay deterministic and
+    healthy links draw nothing).  ``partition_heal`` is an untriggered
+    event while the link is cut: messages queue on it and deliver only
+    after the partition heals — upstream RPC timeouts, not the fabric,
+    decide what that silence means."""
+
+    extra_latency: float = 0.0
+    loss_rate: float = 0.0
+    rto: float = 0.2
+    max_retransmits: int = 6
+    partition_heal: Optional[Event] = None
+
+    @property
+    def partitioned(self) -> bool:
+        return (self.partition_heal is not None
+                and not self.partition_heal.triggered)
+
+
+@dataclass
 class NetworkFabric:
     """Shared network model for one deployment."""
 
@@ -71,6 +97,9 @@ class NetworkFabric:
     rng: RandomStreams = field(default_factory=lambda: RandomStreams(0))
     zone_latency: Dict[Tuple[str, str], float] = field(
         default_factory=lambda: dict(DEFAULT_ZONE_LATENCY))
+    #: Active per-directed-link degradations, keyed by (src, dst) zone.
+    link_faults: Dict[Tuple[str, str], LinkFault] = field(
+        default_factory=dict)
     #: Coefficient of variation of multiplicative wire-latency jitter
     #: (serverless placements crank this up).
     jitter_cv: float = 0.1
@@ -82,6 +111,61 @@ class NetworkFabric:
     #: more pronounced factor of tail latency at high load".
     congestion_coeff: float = 1.5
     fpga: Optional[FpgaOffload] = None
+
+    # -- fault injection -------------------------------------------------
+    def degrade_link(self, src_zone: str, dst_zone: str,
+                     extra_latency: float = 0.0, loss_rate: float = 0.0,
+                     rto: float = 0.2, bidirectional: bool = True,
+                     ) -> List[Tuple[str, str]]:
+        """Degrade a zone link: added propagation delay and/or packet
+        loss (paid as retransmission timeouts).  Returns the directed
+        link keys touched so a fault injector can heal exactly those."""
+        if extra_latency < 0:
+            raise ValueError("extra_latency must be >= 0")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        keys = [(src_zone, dst_zone)]
+        if bidirectional and dst_zone != src_zone:
+            keys.append((dst_zone, src_zone))
+        for key in keys:
+            self.link_faults[key] = LinkFault(
+                extra_latency=extra_latency, loss_rate=loss_rate,
+                rto=rto)
+        return keys
+
+    def partition(self, zone_a: str, zone_b: str,
+                  bidirectional: bool = True) -> List[Tuple[str, str]]:
+        """Cut the link between two zones: messages stall until
+        :meth:`heal` releases them (callers see silence, then delivery
+        — the classic partition-heal reordering)."""
+        keys = [(zone_a, zone_b)]
+        if bidirectional and zone_a != zone_b:
+            keys.append((zone_b, zone_a))
+        for key in keys:
+            self.link_faults[key] = LinkFault(
+                partition_heal=self.env.event())
+        return keys
+
+    def heal(self, src_zone: str, dst_zone: str,
+             bidirectional: bool = True) -> None:
+        """Remove any fault on a link, releasing partitioned traffic."""
+        keys = [(src_zone, dst_zone)]
+        if bidirectional and dst_zone != src_zone:
+            keys.append((dst_zone, src_zone))
+        for key in keys:
+            fault = self.link_faults.pop(key, None)
+            if fault is not None and fault.partitioned:
+                fault.partition_heal.succeed()
+
+    def _retransmit_delay(self, fault: LinkFault) -> float:
+        """Seconds of RTO stalls for one message on a lossy link."""
+        delay = 0.0
+        for _ in range(fault.max_retransmits):
+            if self.rng.uniform("fabric.loss", 0.0, 1.0) >= \
+                    fault.loss_rate:
+                break
+            delay += fault.rto
+        return delay
 
     def latency(self, src_zone: str, dst_zone: str) -> float:
         """Base one-way latency for a zone pair."""
@@ -142,9 +226,19 @@ class NetworkFabric:
             # Wire / switch propagation.
             src_zone = src.machine.zone if src is not None else "client"
             dst_zone = dst.machine.zone if dst is not None else "client"
+            fault = self.link_faults.get((src_zone, dst_zone))
+            if fault is not None and fault.partitioned:
+                # The cut holds the message; it delivers after heal.
+                t0 = self.env.now
+                yield fault.partition_heal
+                timing.wire += self.env.now - t0
             wire = self._jittered(self.latency(src_zone, dst_zone))
+            if fault is not None:
+                wire += fault.extra_latency
+                if fault.loss_rate > 0.0:
+                    wire += self._retransmit_delay(fault)
             yield self.env.timeout(wire)
-            timing.wire = wire
+            timing.wire += wire
             # Receiver NIC.
             if dst is not None:
                 with dst.machine.nic_rx.request() as req:

@@ -7,6 +7,7 @@ from .instrument import (
     instrument_deployment,
     instrument_experiment,
     instrument_generator,
+    instrument_health,
 )
 from .qos import (
     QoSReport,
@@ -32,6 +33,7 @@ __all__ = [
     "instrument_deployment",
     "instrument_generator",
     "instrument_autoscaler",
+    "instrument_health",
     "instrument_experiment",
     "QoSReport",
     "TierEvidence",

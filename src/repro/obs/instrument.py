@@ -31,6 +31,8 @@ repro_cache_requests_total          counter service, outcome
 repro_cache_hit_ratio               gauge   service
 repro_offered_requests_total        counter (none)
 repro_autoscaler_actions_total      counter action
+repro_health_events_total           counter kind
+repro_unhealthy_replicas            gauge   (none)
 repro_requests_total                counter operation, status
 repro_rpc_total                     counter service, status
 repro_request_latency_seconds       histo   operation
@@ -58,6 +60,7 @@ __all__ = [
     "instrument_deployment",
     "instrument_generator",
     "instrument_autoscaler",
+    "instrument_health",
     "instrument_experiment",
     "BREAKER_STATE_CODES",
 ]
@@ -212,6 +215,33 @@ def instrument_autoscaler(registry: MetricsRegistry, scaler) -> None:
         in_ = sum(1 for e in scaler.events if e.action == "scale_in")
         actions.labels(action="scale_out").set_total(out)
         actions.labels(action="scale_in").set_total(in_)
+
+    registry.add_collect_hook(hook)
+
+
+def instrument_health(registry: MetricsRegistry, checker) -> None:
+    """Mirror a health checker's control-plane actions as metrics.
+
+    ``repro_health_events_total{kind}`` counts detections, ejections,
+    replacements, and recoveries; ``repro_unhealthy_replicas`` gauges
+    how many replicas are currently confirmed down — the series a
+    chaos scorecard's detection-time number should visibly step on."""
+    events = registry.counter(
+        "repro_health_events_total",
+        "Health-checker actions by kind (detected, ejected, "
+        "replacement_started, replacement_live, retired, recovered, "
+        "restored)", ("kind",))
+    unhealthy = registry.gauge(
+        "repro_unhealthy_replicas",
+        "Replicas currently confirmed unhealthy")
+
+    def hook(now: float) -> None:
+        counts = {}
+        for event in checker.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        for kind in sorted(counts):
+            events.labels(kind=kind).set_total(counts[kind])
+        unhealthy.labels().set(checker.unhealthy_count())
 
     registry.add_collect_hook(hook)
 

@@ -110,3 +110,41 @@ def test_dot_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_chaos_list_scenarios(capsys):
+    assert main(["chaos", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "machine_crash" in out
+    assert "zone_outage" in out
+    assert "baseline" in out
+
+
+def test_chaos_requires_app(capsys):
+    assert main(["chaos"]) == 2
+    assert "APP is required" in capsys.readouterr().err
+
+
+def test_chaos_unknown_scenario_rejected(capsys):
+    assert main(["chaos", "banking", "--scenario", "meteor"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_chaos_command_writes_scorecards(tmp_path, capsys):
+    out_file = tmp_path / "scorecards.json"
+    assert main(["chaos", "banking", "--qps", "20", "--duration", "8",
+                 "--machines", "4",
+                 "--scenario", "baseline",
+                 "--scenario", "machine_crash",
+                 "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "resilience scorecard: machine_crash" in out
+    assert "chaos suite @ 20 QPS" in out
+    import json
+    payload = json.loads(out_file.read_text())
+    assert payload["app"] == "banking"
+    assert [s["scenario"] for s in payload["scenarios"]] == \
+        ["baseline", "machine_crash"]
+    baseline = payload["scenarios"][0]
+    assert baseline["fault_count"] == 0
+    assert baseline["steady_state_ok"] is True

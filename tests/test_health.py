@@ -1,0 +1,182 @@
+"""Tests for health checking and failover (repro.cluster.health)."""
+
+import pytest
+
+from repro.arch import XEON
+from repro.chaos import ChaosContext, GrayFailure, MachineCrash
+from repro.cluster import Cluster, HealthCheckConfig, HealthChecker
+from repro.core import Deployment
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import memcached, nginx
+from repro.sim import Environment
+
+
+def two_tier():
+    return Application(
+        name="two-tier",
+        services={"web": nginx("web", work_mean=1e-3),
+                  "cache": memcached("cache")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="cache"))))},
+        qos_latency=0.05)
+
+
+def build(replicas_web=3):
+    env = Environment()
+    cluster = Cluster.homogeneous(env, XEON, 4)
+    deployment = Deployment(env, two_tier(), cluster,
+                            replicas={"web": replicas_web, "cache": 1},
+                            cores={"web": 1, "cache": 2}, seed=61)
+    return env, deployment
+
+
+def kinds(checker, service=None):
+    return [e.kind for e in checker.events
+            if service is None or e.service == service]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HealthCheckConfig(probe_interval=0.0)
+    with pytest.raises(ValueError):
+        HealthCheckConfig(unhealthy_threshold=0)
+    with pytest.raises(ValueError):
+        HealthCheckConfig(false_positive_rate=1.0)
+    with pytest.raises(ValueError):
+        HealthCheckConfig(slow_speed_threshold=0.0)
+    with pytest.raises(ValueError):
+        HealthCheckConfig(provision_delay=-1.0)
+
+
+def test_detection_latency_is_interval_times_threshold():
+    env, deployment = build()
+    crash = MachineCrash(deployment.instances_of("web")[0].machine)
+    crash.inject(ChaosContext(deployment))
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        probe_interval=0.5, unhealthy_threshold=3,
+        replace=False)).start()
+    env.run(until=5.0)
+    # Probes at 0.5, 1.0, 1.5 -> third consecutive failure at 1.5.
+    assert checker.first_detection() == pytest.approx(1.5)
+    assert checker.unhealthy_count() >= 1
+
+
+def test_detected_replica_is_ejected_while_redundancy_remains():
+    env, deployment = build()
+    victim = deployment.instances_of("web")[0].machine
+    # Drain-less crash path: mark the machine down directly so the
+    # replica stays in rotation and the checker must eject it.
+    victim.down = True
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        replace=False)).start()
+    env.run(until=3.0)
+    lb = deployment.load_balancer("web")
+    assert "ejected" in kinds(checker, "web")
+    assert all(not inst.machine.down for inst in lb.instances)
+
+
+def test_frozen_singleton_is_replaced_then_retired():
+    env, deployment = build()
+    dead = deployment.instances_of("cache")[0]
+    crash = MachineCrash(dead.machine)
+    crash.inject(ChaosContext(deployment))
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        probe_interval=0.25, unhealthy_threshold=2,
+        provision_delay=1.0)).start()
+    env.run(until=5.0)
+    cache_kinds = kinds(checker, "cache")
+    for kind in ("detected", "replacement_started",
+                 "replacement_live", "retired"):
+        assert kind in cache_kinds
+    instances = deployment.instances_of("cache")
+    assert len(instances) == 1
+    assert instances[0] is not dead
+    assert not instances[0].machine.down
+    assert list(deployment.load_balancer("cache").instances) == instances
+
+
+def test_recovered_replica_is_restored_exactly_once():
+    env, deployment = build()
+    victim = deployment.instances_of("web")[0].machine
+    crash = MachineCrash(victim, start=0.0, duration=3.0)
+    from repro.chaos import FaultSchedule
+    FaultSchedule([crash]).arm(deployment)
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        probe_interval=0.5, unhealthy_threshold=2, healthy_threshold=2,
+        replace=False)).start()
+    env.run(until=10.0)
+    web_kinds = kinds(checker, "web")
+    assert "detected" in web_kinds
+    assert "recovered" in web_kinds
+    lb = deployment.load_balancer("web")
+    assert len(lb.instances) == 3
+    assert len(set(lb.instances)) == 3
+    assert checker.unhealthy_count() == 0
+
+
+def test_latency_aware_probe_catches_gray_failure():
+    env, deployment = build()
+    gray = GrayFailure("web", replica=0, speed_factor=0.25)
+    gray.inject(ChaosContext(deployment))
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        latency_aware=True, replace=False)).start()
+    env.run(until=5.0)
+    assert checker.first_detection() is not None
+
+
+def test_liveness_probe_misses_gray_failure():
+    env, deployment = build()
+    gray = GrayFailure("web", replica=0, speed_factor=0.25)
+    gray.inject(ChaosContext(deployment))
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        latency_aware=False, replace=False)).start()
+    env.run(until=5.0)
+    assert checker.first_detection() is None
+    assert checker.events == []
+
+
+def test_false_positives_detect_and_recover():
+    env, deployment = build()
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        probe_interval=0.25, unhealthy_threshold=2,
+        false_positive_rate=0.9, replace=False)).start()
+    env.run(until=20.0)
+    assert "detected" in kinds(checker)
+    assert "recovered" in kinds(checker)
+
+
+def test_healthy_deployment_emits_nothing_and_draws_nothing():
+    """A checker with false_positive_rate=0 on a healthy deployment
+    must not touch the RNG or emit any events (the determinism
+    contract: adding failover to a healthy run changes nothing)."""
+    env, deployment = build()
+    checker = HealthChecker(deployment).start()
+    env.run(until=10.0)
+    assert checker.events == []
+    assert "health.probe" not in deployment.rng._streams
+
+
+def test_max_replacements_caps_provisioning():
+    env, deployment = build()
+    hosts = sorted({inst.machine.machine_id
+                    for inst in deployment.instances_of("web")})
+    ctx = ChaosContext(deployment)
+    for host in hosts[:2]:
+        MachineCrash(host).inject(ctx)
+    checker = HealthChecker(deployment, HealthCheckConfig(
+        probe_interval=0.25, unhealthy_threshold=2,
+        provision_delay=0.5, max_replacements=1)).start()
+    env.run(until=5.0)
+    started = [e for e in checker.events
+               if e.kind == "replacement_started" and e.service == "web"]
+    assert len(started) == 1
+
+
+def test_watched_services_filter():
+    env, deployment = build()
+    crash = MachineCrash(deployment.instances_of("web")[0].machine)
+    crash.inject(ChaosContext(deployment))
+    checker = HealthChecker(deployment, HealthCheckConfig(replace=False),
+                            services=["cache"]).start()
+    env.run(until=5.0)
+    assert kinds(checker, "web") == []
