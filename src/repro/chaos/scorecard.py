@@ -24,7 +24,6 @@ longest post-injection episode, so a scenario can assert not just
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -214,7 +213,7 @@ def build_scorecard(result, chaos_log, health_events: Sequence = (),
     for ep in episodes:
         length = ep.end - max(ep.start, first_inject)
         for ev in ep.evidence:
-            inflated = (not math.isnan(ev.inflation)
+            inflated = (ev.inflation is not None
                         and ev.inflation >= blast_inflation)
             holding = ev.exclusive_share >= blast_exclusive_share
             if inflated or holding:

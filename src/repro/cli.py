@@ -13,7 +13,15 @@ Commands
 ``report qos APP``
     Run one experiment and attribute QoS violations to culprit tiers
     (the Sec. 7 "which microservice started the cascade" analysis);
-    ``--delay``/``--slow`` inject tier faults to provoke one.
+    ``--delay``/``--slow`` inject tier faults to provoke one;
+    ``--json`` emits the machine-readable episode report instead of
+    the rendered tables.
+``predict [--scenario NAME]``
+    Train a violation predictor on seeded runs of a ramped-fault
+    scenario, evaluate it on held-out seeds (precision / recall /
+    lead time), and optionally re-run with proactive mitigation
+    (``--mitigate prescale|pretrip|shed``) to print the
+    violations-avoided scorecard.  ``--out`` writes the report JSON.
 ``chaos APP [--scenario NAME ...]``
     Run chaos scenarios (deterministic fault schedules with optional
     health-checked failover) and print resilience scorecards:
@@ -198,7 +206,47 @@ def _cmd_report_qos(args) -> int:
     report = attribute_qos_violations(
         result, target=args.target, p=args.percentile,
         window=args.window)
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True,
+                         allow_nan=False))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .predict import predict_scenario_names, run_predict_pipeline
+    if args.list_scenarios:
+        from .predict import predict_scenario
+        rows = [[name, predict_scenario(name).description]
+                for name in predict_scenario_names()]
+        print(format_table(["scenario", "description"], rows,
+                           title="predict scenarios"))
+        return 0
+    if args.scenario not in predict_scenario_names():
+        print(f"error: unknown scenario {args.scenario!r}; have: "
+              f"{', '.join(predict_scenario_names())}", file=sys.stderr)
+        return 2
+    overlap = set(args.train_seeds) & set(args.eval_seeds)
+    if overlap:
+        print(f"error: train/eval seeds overlap: "
+              f"{sorted(overlap)} — held-out means held out",
+              file=sys.stderr)
+        return 2
+    report = run_predict_pipeline(
+        scenario=args.scenario, model_kind=args.model,
+        train_seeds=tuple(args.train_seeds),
+        eval_seeds=tuple(args.eval_seeds),
+        horizon=args.horizon, threshold=args.threshold,
+        mitigate=tuple(args.mitigate))
     print(report.render())
+    if args.out:
+        import json
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -379,6 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
                    type=lambda t: _parse_fault(t, "FACTOR"),
                    action="append", default=[],
                    help="multiply one tier's CPU work (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable episode report")
+
+    p = sub.add_parser(
+        "predict", help="train/evaluate online violation prediction")
+    p.add_argument("--scenario", default="backpressure",
+                   help="ramped-fault scenario (see --list-scenarios)")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="list registered scenarios and exit")
+    p.add_argument("--model", default="logistic",
+                   choices=["majority", "heuristic", "logistic"])
+    p.add_argument("--train-seeds", type=int, nargs="+",
+                   default=[1, 4, 5], metavar="SEED",
+                   help="seeds of the training runs")
+    p.add_argument("--eval-seeds", type=int, nargs="+",
+                   default=[2, 3], metavar="SEED",
+                   help="held-out seeds to evaluate on")
+    p.add_argument("--horizon", type=_positive_float, default=8.0,
+                   help="label lead-time horizon in sim seconds")
+    p.add_argument("--threshold", type=_positive_float, default=0.6,
+                   help="alert probability threshold")
+    p.add_argument("--mitigate", action="append", default=[],
+                   choices=["prescale", "pretrip", "shed"],
+                   help="re-run held-out seeds with this proactive "
+                        "action (repeatable)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the pipeline report as JSON to FILE")
 
     p = sub.add_parser(
         "chaos", help="run chaos scenarios and print scorecards")
@@ -441,6 +516,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "simulate": _cmd_simulate,
     "report": _cmd_report_qos,
+    "predict": _cmd_predict,
     "chaos": _cmd_chaos,
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,

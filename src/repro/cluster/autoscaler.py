@@ -14,24 +14,9 @@ from typing import Dict, List, Optional
 
 from ..sim.engine import Environment
 from ..stats.timeseries import StepSeries
+from .scaling import AutoscalerEvent, ScalingBookkeeper
 
 __all__ = ["UtilizationAutoscaler", "AutoscalerEvent"]
-
-
-class AutoscalerEvent:
-    """One scaling action, for post-hoc inspection."""
-
-    def __init__(self, time: float, service: str, action: str,
-                 utilization: float, instances: int):
-        self.time = time
-        self.service = service
-        self.action = action
-        self.utilization = utilization
-        self.instances = instances
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<{self.action} {self.service} at t={self.time:.1f} "
-                f"util={self.utilization:.2f} n={self.instances}>")
 
 
 class UtilizationAutoscaler:
@@ -60,26 +45,40 @@ class UtilizationAutoscaler:
         self.period = period
         self.scale_out_threshold = scale_out_threshold
         self.scale_in_threshold = scale_in_threshold
-        self.startup_delay = startup_delay
-        self.max_instances = max_instances
         self.cooldown = cooldown
         self.services = services
-        self.events: List[AutoscalerEvent] = []
-        self.instance_counts: Dict[str, StepSeries] = {}
+        self.bookkeeper = ScalingBookkeeper(
+            env, deployment, startup_delay=startup_delay,
+            max_instances=max_instances)
         self._last_action: Dict[str, float] = {}
-        self._pending_out: Dict[str, int] = {}
         self._prev_busy: Dict[int, float] = {}
         self._last_sample = env.now
         self._process = None
+
+    # Shared bookkeeping, exposed under the historical names.
+    @property
+    def events(self) -> List[AutoscalerEvent]:
+        """Scaling actions taken so far, oldest first."""
+        return self.bookkeeper.events
+
+    @property
+    def instance_counts(self) -> Dict[str, StepSeries]:
+        """Per-service replica-count step series."""
+        return self.bookkeeper.instance_counts
+
+    @property
+    def startup_delay(self) -> float:
+        return self.bookkeeper.startup_delay
+
+    @property
+    def max_instances(self) -> int:
+        return self.bookkeeper.max_instances
 
     def start(self) -> None:
         """Begin the control loop."""
         if self._process is not None:
             raise RuntimeError("autoscaler already started")
-        for name in self._watched():
-            self.instance_counts[name] = StepSeries(
-                initial=len(self.deployment.instances_of(name)),
-                start=self.env.now)
+        self.bookkeeper.watch(self._watched())
         self._process = self.env.process(self._loop(), name="autoscaler")
 
     def _watched(self) -> List[str]:
@@ -118,27 +117,11 @@ class UtilizationAutoscaler:
                 now = self.env.now
                 if now - self._last_action.get(service, -1e18) < self.cooldown:
                     continue
-                n = (len(self.deployment.instances_of(service))
-                     + self._pending_out.get(service, 0))
-                if util > self.scale_out_threshold and n < self.max_instances:
+                n = self.bookkeeper.planned_instances(service)
+                if util > self.scale_out_threshold \
+                        and self.bookkeeper.can_scale_out(service):
                     self._last_action[service] = now
-                    self._pending_out[service] = \
-                        self._pending_out.get(service, 0) + 1
-                    self.events.append(AutoscalerEvent(
-                        now, service, "scale_out", util, n + 1))
-                    self.env.process(self._provision(service))
+                    self.bookkeeper.scale_out(service, util)
                 elif util < self.scale_in_threshold and n > 1:
                     self._last_action[service] = now
-                    self.deployment.remove_instance(service)
-                    count = len(self.deployment.instances_of(service))
-                    self.events.append(AutoscalerEvent(
-                        now, service, "scale_in", util, count))
-                    self.instance_counts[service].set(now, count)
-
-    def _provision(self, service: str):
-        """Model instance startup latency before capacity goes live."""
-        yield self.env.timeout(self.startup_delay)
-        self.deployment.add_instance(service)
-        self._pending_out[service] -= 1
-        count = len(self.deployment.instances_of(service))
-        self.instance_counts[service].set(self.env.now, count)
+                    self.bookkeeper.scale_in(service, util)

@@ -31,7 +31,7 @@ from ..sim.engine import Environment
 from ..stats.timeseries import StepSeries
 from ..tracing.analysis import per_service_breakdown, per_service_exclusive
 from ..tracing.collector import TraceCollector
-from .autoscaler import AutoscalerEvent
+from .scaling import AutoscalerEvent, ScalingBookkeeper
 
 __all__ = ["DependencyAwareAutoscaler"]
 
@@ -58,24 +58,38 @@ class DependencyAwareAutoscaler:
         self.qos_latency = qos_latency if qos_latency is not None \
             else deployment.app.qos_latency
         self.inflation_threshold = inflation_threshold
-        self.startup_delay = startup_delay
-        self.max_instances = max_instances
         self.baseline_window = baseline_window
-        self.events: List[AutoscalerEvent] = []
-        self.instance_counts: Dict[str, StepSeries] = {}
+        self.bookkeeper = ScalingBookkeeper(
+            env, deployment, startup_delay=startup_delay,
+            max_instances=max_instances)
         self._baseline: Dict[str, float] = {}
         self._seen_traces = 0
-        self._pending: Dict[str, int] = {}
         self._process = None
+
+    # Shared bookkeeping, exposed under the historical names.
+    @property
+    def events(self) -> List[AutoscalerEvent]:
+        """Scaling actions taken so far, oldest first."""
+        return self.bookkeeper.events
+
+    @property
+    def instance_counts(self) -> Dict[str, StepSeries]:
+        """Per-service replica-count step series."""
+        return self.bookkeeper.instance_counts
+
+    @property
+    def startup_delay(self) -> float:
+        return self.bookkeeper.startup_delay
+
+    @property
+    def max_instances(self) -> int:
+        return self.bookkeeper.max_instances
 
     def start(self) -> None:
         """Begin the control loop."""
         if self._process is not None:
             raise RuntimeError("autoscaler already started")
-        for name in self.deployment.service_names():
-            self.instance_counts[name] = StepSeries(
-                initial=len(self.deployment.instances_of(name)),
-                start=self.env.now)
+        self.bookkeeper.watch(self.deployment.service_names())
         self._process = self.env.process(self._loop(), name="dep-scaler")
 
     # -- internals -------------------------------------------------------
@@ -127,15 +141,10 @@ class DependencyAwareAutoscaler:
             culprit = self._find_culprit(traces)
             if culprit is None:
                 continue
-            n = (len(self.deployment.instances_of(culprit))
-                 + self._pending.get(culprit, 0))
-            if n >= self.max_instances:
+            if not self.bookkeeper.can_scale_out(culprit):
                 continue
-            self._pending[culprit] = self._pending.get(culprit, 0) + 1
-            self.events.append(AutoscalerEvent(
-                self.env.now, culprit, "scale_out",
-                self.deployment.utilization(culprit), n + 1))
-            self.env.process(self._provision(culprit))
+            self.bookkeeper.scale_out(
+                culprit, self.deployment.utilization(culprit))
 
     def _find_culprit(self, traces) -> Optional[str]:
         """The tier with the largest inflated processing contribution."""
@@ -156,10 +165,3 @@ class DependencyAwareAutoscaler:
                 best_score = score
                 best = service
         return best
-
-    def _provision(self, service: str):
-        yield self.env.timeout(self.startup_delay)
-        self.deployment.add_instance(service)
-        self._pending[service] -= 1
-        self.instance_counts[service].set(
-            self.env.now, len(self.deployment.instances_of(service)))

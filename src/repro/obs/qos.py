@@ -73,19 +73,38 @@ CAUSE_LABELS = {
 
 @dataclass
 class TierEvidence:
-    """One tier's measurements over one violation episode."""
+    """One tier's measurements over one violation episode.
+
+    Windowed measurements that had no samples are ``None`` — never
+    ``nan``, which would flow through arithmetic silently."""
 
     service: str
     score: float = 0.0
     cause: str = "latency_inflation"
-    span_p95: float = float("nan")
-    baseline_p95: float = float("nan")
-    inflation: float = float("nan")
+    span_p95: Optional[float] = None
+    baseline_p95: Optional[float] = None
+    inflation: Optional[float] = None
     exclusive_share: float = 0.0
     block_share: float = 0.0
-    utilization: float = float("nan")
-    queue_growth: float = float("nan")
+    utilization: Optional[float] = None
+    queue_growth: Optional[float] = None
     breaker_open_fraction: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable evidence row."""
+        return {
+            "service": self.service,
+            "score": self.score,
+            "cause": self.cause,
+            "span_p95": self.span_p95,
+            "baseline_p95": self.baseline_p95,
+            "inflation": self.inflation,
+            "exclusive_share": self.exclusive_share,
+            "block_share": self.block_share,
+            "utilization": self.utilization,
+            "queue_growth": self.queue_growth,
+            "breaker_open_fraction": self.breaker_open_fraction,
+        }
 
 
 @dataclass
@@ -103,6 +122,18 @@ class ViolationEpisode:
         """The highest-scoring tier, if any evidence was gathered."""
         return self.evidence[0] if self.evidence else None
 
+    def to_dict(self) -> dict:
+        """JSON-serializable episode with its ranked evidence."""
+        top = self.top_culprit
+        return {
+            "start": self.start,
+            "end": self.end,
+            "tail": self.tail,
+            "target": self.target,
+            "top_culprit": top.service if top else None,
+            "evidence": [ev.to_dict() for ev in self.evidence],
+        }
+
 
 @dataclass
 class QoSReport:
@@ -117,6 +148,22 @@ class QoSReport:
     @property
     def violated(self) -> bool:
         return bool(self.episodes)
+
+    def to_dict(self) -> dict:
+        """Machine-readable report (``repro report qos --json``).
+
+        This is the contract the :mod:`repro.predict` label pipeline
+        consumes: episode boundaries, top culprits, and per-tier
+        evidence, with missing measurements as ``null``."""
+        return {
+            "target": self.target,
+            "p": self.p,
+            "window": self.window,
+            "duration": self.duration,
+            "violated": self.violated,
+            "top_culprit": self.top_culprit(),
+            "episodes": [ep.to_dict() for ep in self.episodes],
+        }
 
     def top_culprit(self) -> Optional[str]:
         """The top-ranked tier of the longest episode."""
@@ -146,11 +193,11 @@ class QoSReport:
                     str(rank), ev.service, f"{ev.score:.2f}",
                     CAUSE_LABELS.get(ev.cause, ev.cause),
                     f"{ev.inflation:.1f}x"
-                    if not math.isnan(ev.inflation) else "-",
+                    if ev.inflation is not None else "-",
                     f"{ev.exclusive_share:.2f}",
                     f"{ev.block_share:.2f}",
                     f"{ev.utilization:.2f}"
-                    if not math.isnan(ev.utilization) else "-",
+                    if ev.utilization is not None else "-",
                 ])
             lines.append(format_table(
                 ["rank", "tier", "score", "likely cause", "span infl",
@@ -190,37 +237,40 @@ def _merge_windows(windows: List[tuple], target: float,
     return episodes
 
 
-def _safe_p95(samples) -> float:
+def _safe_p95(samples) -> Optional[float]:
     if len(samples) == 0:
-        return float("nan")
+        return None
     return percentile(samples, 0.95)
 
 
-def _mean_series(points) -> float:
-    vals = [v for _, v in points if not math.isnan(v)]
-    if not vals:
-        return float("nan")
-    return sum(vals) / len(vals)
-
-
 def _tier_utilization(result, registry, service: str, start: float,
-                      end: float) -> float:
+                      end: float) -> Optional[float]:
+    """Mean tier CPU utilization over a window, or ``None`` if no
+    monitor sampled it.
+
+    The registry's scraped series is preferred, but an episode shorter
+    than the scrape cadence can leave its window empty — fall back to
+    the harness's utilization samples rather than reporting nothing."""
     if registry is not None:
         try:
-            return registry.mean_in("repro_cpu_utilization", start, end,
-                                    service=service)
+            value = registry.mean_in("repro_cpu_utilization", start,
+                                     end, service=service)
         except KeyError:
-            pass
+            value = None
+        if value is not None:
+            return value
     series = getattr(result, "utilization", {}).get(service)
     if series is not None and len(series):
-        return series.mean_in(start, end)
-    return float("nan")
+        mean = series.mean_in(start, end)
+        if not math.isnan(mean):
+            return mean
+    return None
 
 
 def _queue_growth(registry, service: str, start: float, end: float,
-                  baseline_start: float) -> float:
+                  baseline_start: float) -> Optional[float]:
     if registry is None:
-        return float("nan")
+        return None
     try:
         during = registry.mean_in("repro_outstanding_requests", start,
                                   end, service=service)
@@ -228,9 +278,9 @@ def _queue_growth(registry, service: str, start: float, end: float,
                                   baseline_start, start,
                                   service=service)
     except KeyError:
-        return float("nan")
-    if math.isnan(during) or math.isnan(before):
-        return float("nan")
+        return None
+    if during is None or before is None:
+        return None
     return during / max(before, 0.5)
 
 
@@ -259,12 +309,12 @@ def _breaker_open_fraction(registry, deployment, service: str,
 def _classify(ev: TierEvidence) -> str:
     if ev.breaker_open_fraction > 0.2:
         return "breaker_open"
-    if not math.isnan(ev.utilization) and ev.utilization > 0.85:
+    if ev.utilization is not None and ev.utilization > 0.85:
         return "cpu_saturation"
-    if ev.block_share > 0.35 and (math.isnan(ev.utilization)
+    if ev.block_share > 0.35 and (ev.utilization is None
                                   or ev.utilization < 0.5):
         return "head_of_line_blocking"
-    if not math.isnan(ev.queue_growth) and ev.queue_growth > 2.0:
+    if ev.queue_growth is not None and ev.queue_growth > 2.0:
         return "queue_growth"
     return "latency_inflation"
 
@@ -343,9 +393,8 @@ def attribute_qos_violations(result, target: Optional[float] = None,
             ep_p95 = _safe_p95(recorder.samples(ep.start, ep.end))
             base_p95 = _safe_p95(
                 recorder.samples(baseline_start, baseline_end))
-            if math.isnan(ep_p95) or math.isnan(base_p95) \
-                    or base_p95 <= 0:
-                inflation = float("nan")
+            if ep_p95 is None or base_p95 is None or base_p95 <= 0:
+                inflation = None
             else:
                 inflation = ep_p95 / base_p95
             ev = TierEvidence(
@@ -372,24 +421,26 @@ def attribute_qos_violations(result, target: Optional[float] = None,
         # Inflation evidence counts only the unblocked fraction of a
         # tier's span time: a tier that inflated because it sat in an
         # admission queue is exhibiting the cascade, not causing it.
-        def _adj_infl(ev: TierEvidence) -> float:
-            if math.isnan(ev.inflation):
-                return float("nan")
+        # Tiers with no measurement (None) are skipped explicitly — a
+        # nan here would zero the normalizers for everyone.
+        def _adj_infl(ev: TierEvidence) -> Optional[float]:
+            if ev.inflation is None:
+                return None
             return ev.inflation * (1.0 - min(ev.block_share, 1.0))
 
         max_inflation = max(
             (_adj_infl(ev) for ev in evidence
-             if not math.isnan(ev.inflation)), default=0.0)
+             if ev.inflation is not None), default=0.0)
         max_queue = max(
             (ev.queue_growth for ev in evidence
-             if not math.isnan(ev.queue_growth)), default=0.0)
+             if ev.queue_growth is not None), default=0.0)
         for ev in evidence:
             infl_norm = (_adj_infl(ev) / max_inflation
                          if max_inflation > 0
-                         and not math.isnan(ev.inflation) else 0.0)
+                         and ev.inflation is not None else 0.0)
             queue_norm = (ev.queue_growth / max_queue
                           if max_queue > 0
-                          and not math.isnan(ev.queue_growth) else 0.0)
+                          and ev.queue_growth is not None else 0.0)
             ev.score = (0.45 * ev.exclusive_share + 0.35 * infl_norm
                         + 0.20 * queue_norm)
             # An open breaker into the tier is direct evidence the

@@ -194,6 +194,7 @@ class MetricsRegistry:
         self._series: Dict[Tuple[str, LabelSet],
                            Deque[Tuple[float, float]]] = {}
         self._hooks: List[Callable[[float], None]] = []
+        self._listeners: List[Callable[[float], None]] = []
         self._scraper = None
         self.scrape_count = 0
         self.last_scrape = float("nan")
@@ -245,6 +246,17 @@ class MetricsRegistry:
         for hook in self._hooks:
             hook(now)
 
+    def add_scrape_listener(self, listener: Callable[[float], None]) -> None:
+        """Run ``listener(now)`` after every scrape completes.
+
+        Listeners see the freshly sampled values via :meth:`value` and
+        :meth:`series`; they run inside the scraper's turn, so anything
+        reacting on the scrape cadence (the online predictor, a
+        dashboard refresh) stays on the same heap event as the scrape
+        itself instead of racing it from a second process at the same
+        timestamp."""
+        self._listeners.append(listener)
+
     # -- scraping --------------------------------------------------------
     def scrape(self, now: float) -> None:
         """Snapshot every counter/gauge child into its ring buffer."""
@@ -261,6 +273,8 @@ class MetricsRegistry:
                     buf = deque(maxlen=self.series_capacity)
                     self._series[key] = buf
                 buf.append((now, child.value))
+        for listener in self._listeners:
+            listener(now)
 
     def start(self, env) -> None:
         """Launch the scraper as a simulation process on ``env``."""
@@ -295,11 +309,15 @@ class MetricsRegistry:
                 if start <= t < end]
 
     def mean_in(self, name: str, start: float, end: float,
-                **labels: str) -> float:
-        """Mean of one series over a window (nan when empty)."""
+                **labels: str) -> Optional[float]:
+        """Mean of one series over a window, or ``None`` when empty.
+
+        Returning ``None`` (not ``nan``) forces callers to handle the
+        no-samples case explicitly: a ``nan`` here once propagated
+        silently through the QoS-attribution evidence arithmetic."""
         window = self.series_in(name, start, end, **labels)
         if not window:
-            return float("nan")
+            return None
         return sum(v for _, v in window) / len(window)
 
     def value(self, name: str, **labels: str) -> float:

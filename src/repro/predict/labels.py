@@ -1,0 +1,115 @@
+"""Training labels from QoS-attribution episodes.
+
+The ground truth a violation predictor trains against is exactly what
+the attribution engine reports after the fact: episode boundaries and
+the top culprit tier.  :func:`label_rows` turns a feature matrix plus
+a list of episodes into supervised examples at a **lead-time
+horizon**: a ``(tick, service)`` row is positive iff an episode
+*starts* within ``(t, t + horizon]`` and ``service`` is that
+episode's attributed culprit.  Predicting the violation while it is
+already underway is detection, not prediction — ticks inside an
+episode are dropped from training entirely.
+
+Episodes come either from a live
+:class:`~repro.obs.qos.QoSReport` or from the machine-readable form
+``repro report qos --json`` writes (the ``to_dict`` contract), so a
+label pipeline can train from archived run artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .features import FeatureRow
+
+__all__ = [
+    "EpisodeLabel",
+    "LabeledExample",
+    "episodes_for_labeling",
+    "label_rows",
+    "split_xy",
+]
+
+
+@dataclass(frozen=True)
+class EpisodeLabel:
+    """The slice of an episode the label pipeline needs."""
+
+    start: float
+    end: float
+    culprit: Optional[str]
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    """One supervised example: a feature row and its 0/1 label."""
+
+    row: FeatureRow
+    label: int
+
+
+def episodes_for_labeling(report) -> List[EpisodeLabel]:
+    """Extract ``EpisodeLabel``\\ s from a QoSReport or its dict form.
+
+    Accepts a live :class:`~repro.obs.qos.QoSReport` or the parsed
+    JSON of ``repro report qos --json`` (``report["episodes"]`` rows
+    with ``start``/``end``/``top_culprit``)."""
+    episodes = []
+    raw = report["episodes"] if isinstance(report, dict) \
+        else report.episodes
+    for ep in raw:
+        if isinstance(ep, dict):
+            episodes.append(EpisodeLabel(
+                start=float(ep["start"]), end=float(ep["end"]),
+                culprit=ep.get("top_culprit")))
+        else:
+            top = ep.top_culprit
+            episodes.append(EpisodeLabel(
+                start=ep.start, end=ep.end,
+                culprit=top.service if top else None))
+    return episodes
+
+
+def label_rows(rows: Sequence[FeatureRow],
+               episodes: Sequence[EpisodeLabel],
+               horizon: float,
+               ) -> List[LabeledExample]:
+    """Label a feature matrix against attribution episodes.
+
+    For each row at time ``t`` for tier ``s``:
+
+    * **dropped** when ``t`` falls inside any episode (the violation
+      is no longer predictable — it is happening);
+    * **positive** when some episode starts within ``(t, t + horizon]``
+      and ``s`` is its culprit;
+    * **negative** otherwise.
+
+    Rows keep their input order, so same-seed labeling is
+    byte-stable."""
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    examples: List[LabeledExample] = []
+    for row in rows:
+        t = row.time
+        inside = False
+        positive = False
+        for ep in episodes:
+            if ep.start <= t < ep.end:
+                inside = True
+                break
+            if t < ep.start <= t + horizon \
+                    and ep.culprit == row.service:
+                positive = True
+        if inside:
+            continue
+        examples.append(LabeledExample(row=row,
+                                       label=1 if positive else 0))
+    return examples
+
+
+def split_xy(examples: Sequence[LabeledExample],
+             ) -> Tuple[List[Tuple[float, ...]], List[int]]:
+    """Feature vectors and labels as parallel lists (model input)."""
+    return ([ex.row.values for ex in examples],
+            [ex.label for ex in examples])

@@ -1,0 +1,261 @@
+"""Pure-python, seeded online learners for violation prediction.
+
+Three models, one interface (:meth:`fit` / :meth:`predict_proba` /
+:meth:`partial_fit` / :meth:`to_dict`), chosen as an honest ladder:
+
+* :class:`MajorityClassModel` — the floor.  Predicts the training base
+  rate for everything; any model that cannot beat it has learned
+  nothing.
+* :class:`ThresholdHeuristicModel` — the SRE rulebook: z-score the
+  early-warning features against the healthy (negative-label)
+  baseline and alert when enough of them deviate together.  No
+  gradient anywhere; this is the baseline CI gates on.
+* :class:`OnlineLogisticModel` — SGD logistic regression with L2,
+  feature standardization, and a seeded shuffle
+  (``random.Random(seed)``): the learned model the ablation pits
+  against the reactive autoscalers.
+
+Everything is stdlib-only float arithmetic in fixed iteration order:
+the same seed and the same training matrix produce byte-identical
+weights (see :meth:`OnlineLogisticModel.to_dict`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from .features import FEATURE_NAMES
+
+__all__ = [
+    "MajorityClassModel",
+    "ThresholdHeuristicModel",
+    "OnlineLogisticModel",
+    "build_model",
+]
+
+Vector = Sequence[float]
+
+#: Features whose *rise* signals an impending violation: the heuristic
+#: only alerts on upward deviations of these.  The scale-free ratios
+#: carry the load; raw levels differ by orders of magnitude per tier.
+_WARNING_FEATURES: Tuple[str, ...] = (
+    "exclusive_ratio", "queue_ratio", "queue_slope", "block_share",
+    "breaker_open_frac",
+)
+
+
+def _mean_std(column: Sequence[float]) -> Tuple[float, float]:
+    n = len(column)
+    if n == 0:
+        return 0.0, 1.0
+    mean = sum(column) / n
+    var = sum((v - mean) ** 2 for v in column) / n
+    return mean, max(math.sqrt(var), 1e-9)
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _median_mad(column: Sequence[float]) -> Tuple[float, float]:
+    """Median and median-absolute-deviation (robust location/scale).
+
+    Mean/std would let a handful of already-degraded rows near the
+    label horizon inflate the 'healthy' spread and mute the alert; the
+    median pair shrugs off that contamination."""
+    if not column:
+        return 0.0, 1.0
+    med = _median(list(column))
+    mad = _median([abs(v - med) for v in column])
+    # 1.4826 rescales MAD to std under normality; floor keeps z finite
+    # for near-constant features.
+    return med, max(1.4826 * mad, 1e-3)
+
+
+class MajorityClassModel:
+    """Predicts the training base rate, unconditionally."""
+
+    name = "majority"
+
+    def __init__(self):
+        self.base_rate = 0.0
+
+    def fit(self, x: Sequence[Vector], y: Sequence[int]) -> None:
+        self.base_rate = (sum(y) / len(y)) if y else 0.0
+
+    def partial_fit(self, x: Vector, label: int) -> None:
+        """No online adaptation: the floor stays the floor."""
+
+    def predict_proba(self, x: Vector) -> float:
+        return self.base_rate
+
+    def to_dict(self) -> dict:
+        return {"model": self.name, "base_rate": self.base_rate}
+
+
+class ThresholdHeuristicModel:
+    """Alert when >= ``min_signals`` warning features sit ``z_alert``
+    standard deviations above their healthy baseline.
+
+    The healthy baseline is the per-feature median/MAD over the
+    *negative* training rows — robust statistics, because rows just
+    outside the label horizon are already slightly degraded and would
+    otherwise stretch a mean/std baseline.  The pseudo-probability is
+    the alerting fraction of warning features, so a 0.5 threshold
+    means "half the early-warning signals fired".
+    """
+
+    name = "heuristic"
+
+    def __init__(self, z_alert: float = 3.0, min_signals: int = 2):
+        if z_alert <= 0:
+            raise ValueError("z_alert must be > 0")
+        if min_signals < 1:
+            raise ValueError("min_signals must be >= 1")
+        self.z_alert = z_alert
+        self.min_signals = min_signals
+        self._indices = tuple(FEATURE_NAMES.index(n)
+                              for n in _WARNING_FEATURES)
+        self._baseline: Dict[int, Tuple[float, float]] = {}
+
+    def fit(self, x: Sequence[Vector], y: Sequence[int]) -> None:
+        healthy = [row for row, label in zip(x, y) if label == 0]
+        if not healthy:
+            healthy = list(x)
+        self._baseline = {
+            i: _median_mad([row[i] for row in healthy])
+            for i in self._indices}
+
+    def partial_fit(self, x: Vector, label: int) -> None:
+        """The rulebook does not learn online."""
+
+    def predict_proba(self, x: Vector) -> float:
+        if not self._baseline:
+            return 0.0
+        firing = 0
+        culprit_signal = False
+        for i in self._indices:
+            center, spread = self._baseline[i]
+            if (x[i] - center) / spread >= self.z_alert:
+                firing += 1
+                if FEATURE_NAMES[i] == "exclusive_ratio":
+                    culprit_signal = True
+        # Exclusive latency is the necessary condition: queues and
+        # block time also rise at the cascade's *victims*, but only
+        # the culprit's own exclusive time inflates.
+        if not culprit_signal or firing < self.min_signals:
+            return 0.0
+        return firing / len(self._indices)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.name,
+            "z_alert": self.z_alert,
+            "min_signals": self.min_signals,
+            "baseline": {FEATURE_NAMES[i]: list(self._baseline[i])
+                         for i in self._indices if i in self._baseline},
+        }
+
+
+class OnlineLogisticModel:
+    """SGD logistic regression, seeded and standardized.
+
+    ``fit`` makes ``epochs`` passes over the training set in a
+    ``random.Random(seed)``-shuffled order; ``partial_fit`` keeps
+    learning one example at a time during inference (the *online*
+    half of the design).  Standardization statistics are frozen at
+    ``fit`` time so online updates cannot drift the input scale.
+    Class imbalance is handled by weighting positive examples by the
+    negative/positive ratio — violation ticks are rare by
+    construction."""
+
+    name = "logistic"
+
+    def __init__(self, lr: float = 0.05, l2: float = 1e-4,
+                 epochs: int = 12, seed: int = 0):
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.lr = lr
+        self.l2 = l2
+        self.epochs = epochs
+        self.seed = seed
+        self.weights: List[float] = [0.0] * len(FEATURE_NAMES)
+        self.bias = 0.0
+        self._means: List[float] = [0.0] * len(FEATURE_NAMES)
+        self._stds: List[float] = [1.0] * len(FEATURE_NAMES)
+        self._pos_weight = 1.0
+
+    def _standardize(self, x: Vector) -> List[float]:
+        return [(v - m) / s
+                for v, m, s in zip(x, self._means, self._stds)]
+
+    def _raw_proba(self, z: Sequence[float]) -> float:
+        logit = self.bias + sum(w * v for w, v in zip(self.weights, z))
+        # Clamp to keep exp() in range; probabilities saturate anyway.
+        logit = max(-30.0, min(30.0, logit))
+        return 1.0 / (1.0 + math.exp(-logit))
+
+    def _step(self, z: Sequence[float], label: int) -> None:
+        error = self._raw_proba(z) - label
+        scale = self._pos_weight if label == 1 else 1.0
+        for i, v in enumerate(z):
+            grad = error * v * scale + self.l2 * self.weights[i]
+            self.weights[i] -= self.lr * grad
+        self.bias -= self.lr * error * scale
+
+    def fit(self, x: Sequence[Vector], y: Sequence[int]) -> None:
+        if not x:
+            return
+        columns = list(zip(*x))
+        stats = [_mean_std(col) for col in columns]
+        self._means = [m for m, _ in stats]
+        self._stds = [s for _, s in stats]
+        positives = sum(y)
+        negatives = len(y) - positives
+        self._pos_weight = (negatives / positives
+                            if positives > 0 else 1.0)
+        standardized = [self._standardize(row) for row in x]
+        order = list(range(len(x)))
+        rng = random.Random(self.seed)
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for i in order:
+                self._step(standardized[i], y[i])
+
+    def partial_fit(self, x: Vector, label: int) -> None:
+        self._step(self._standardize(x), label)
+
+    def predict_proba(self, x: Vector) -> float:
+        return self._raw_proba(self._standardize(x))
+
+    def to_dict(self) -> dict:
+        """Byte-stable weight export (`repr` floats, fixed order)."""
+        return {
+            "model": self.name,
+            "seed": self.seed,
+            "bias": repr(self.bias),
+            "weights": {name: repr(w) for name, w
+                        in zip(FEATURE_NAMES, self.weights)},
+            "means": [repr(m) for m in self._means],
+            "stds": [repr(s) for s in self._stds],
+        }
+
+
+def build_model(kind: str, seed: int = 0):
+    """Model factory keyed by CLI name."""
+    if kind == "majority":
+        return MajorityClassModel()
+    if kind == "heuristic":
+        return ThresholdHeuristicModel()
+    if kind == "logistic":
+        return OnlineLogisticModel(seed=seed)
+    raise ValueError(f"unknown model kind {kind!r}")

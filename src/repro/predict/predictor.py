@@ -1,0 +1,94 @@
+"""The in-sim online predictor.
+
+An :class:`OnlinePredictor` runs a fitted model against the
+:class:`~repro.predict.features.FeatureTracker`'s freshest rows at
+every scrape tick, inside the scraper's turn (listener ordering is
+registration order, so register the tracker first, then the
+predictor).  When a tier's probability crosses the alert threshold it
+emits a :class:`PredictionEvent` naming the predicted culprit, and —
+when a mitigator is wired in — hands it over for proactive action.
+
+A per-tier **cooldown** de-bounces the alert stream: one episode
+should produce one actionable event per tier, not one per scrape.
+The first ``min_history`` ticks are warm-up — slope features need a
+filled window before they mean anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PredictionEvent", "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class PredictionEvent:
+    """One predicted-violation alert."""
+
+    time: float
+    service: str
+    probability: float
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "service": self.service,
+                "probability": self.probability}
+
+
+class OnlinePredictor:
+    """Scores every watched tier on every scrape tick."""
+
+    def __init__(self, tracker, model, threshold: float = 0.5,
+                 cooldown: float = 5.0, min_history: int = 4,
+                 mitigator=None):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.tracker = tracker
+        self.model = model
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.min_history = min_history
+        self.mitigator = mitigator
+        self.events: List[PredictionEvent] = []
+        self._last_alert: Dict[str, float] = {}
+
+    def attach(self) -> "OnlinePredictor":
+        """Register after the tracker on the registry's scrape cycle."""
+        self.tracker.registry.add_scrape_listener(self.on_scrape)
+        return self
+
+    def on_scrape(self, now: float) -> None:
+        """Score the tick the tracker just appended."""
+        if self.tracker.ticks < self.min_history:
+            return
+        for service in self.tracker.services:
+            row = self.tracker.latest(service)
+            if row is None:
+                continue
+            probability = self.model.predict_proba(row.values)
+            if probability < self.threshold:
+                continue
+            last = self._last_alert.get(service)
+            if last is not None and now - last < self.cooldown:
+                continue
+            self._last_alert[service] = now
+            event = PredictionEvent(time=now, service=service,
+                                    probability=probability)
+            self.events.append(event)
+            if self.mitigator is not None:
+                self.mitigator.on_prediction(event)
+
+    def export_lines(self) -> List[str]:
+        """Byte-stable text form of the event log."""
+        return [f"{e.time!r}\t{e.service}\t{e.probability!r}"
+                for e in self.events]
+
+    def first_alert(self, service: Optional[str] = None,
+                    ) -> Optional[float]:
+        """Time of the first alert (for one tier, or any)."""
+        for event in self.events:
+            if service is None or event.service == service:
+                return event.time
+        return None

@@ -118,6 +118,16 @@ class CircuitBreaker:
                 and self.error_rate() >= self.config.failure_threshold:
             self._trip()
 
+    def trip(self) -> None:
+        """Force the breaker open now, as if the window had tripped it.
+
+        Proactive mitigation (``repro.predict``) pre-trips the edge
+        into a predicted culprit: callers fail fast through the normal
+        open → half-open → probe cycle instead of parking workers on a
+        tier forecast to drown.  Idempotent while already open."""
+        if self.state != OPEN:
+            self._trip()
+
     def _trip(self) -> None:
         self._state = OPEN
         self._opened_at = self.env.now

@@ -148,3 +148,50 @@ def test_chaos_command_writes_scorecards(tmp_path, capsys):
     baseline = payload["scenarios"][0]
     assert baseline["fault_count"] == 0
     assert baseline["steady_state_ok"] is True
+
+
+def test_report_qos_json(capsys):
+    assert main(["report", "qos", "banking", "--qps", "20",
+                 "--duration", "6", "--machines", "3", "--json"]) == 0
+    import json
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["target"] > 0
+    assert "episodes" in payload
+    # The contract the predict label pipeline trains from.
+    for episode in payload["episodes"]:
+        assert "top_culprit" in episode
+        assert "evidence" in episode
+
+
+def test_predict_list_scenarios(capsys):
+    assert main(["predict", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "backpressure" in out
+    assert "cascade" in out
+
+
+def test_predict_unknown_scenario_rejected(capsys):
+    assert main(["predict", "--scenario", "meteor"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_predict_rejects_train_eval_overlap(capsys):
+    assert main(["predict", "--train-seeds", "1", "2",
+                 "--eval-seeds", "2", "3"]) == 2
+    assert "overlap" in capsys.readouterr().err
+
+
+def test_predict_command_writes_report(tmp_path, capsys):
+    out_file = tmp_path / "predict.json"
+    assert main(["predict", "--scenario", "backpressure",
+                 "--model", "heuristic", "--threshold", "0.3",
+                 "--train-seeds", "1", "--eval-seeds", "2",
+                 "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "held-out evaluation" in out
+    assert "precision" in out
+    import json
+    payload = json.loads(out_file.read_text())
+    assert payload["scenario"] == "backpressure"
+    assert payload["model"] == "heuristic"
+    assert [ev["seed"] for ev in payload["evals"]] == [2]

@@ -117,3 +117,38 @@ def test_different_seeds_diverge():
                  n_machines=6, seed=2)
     assert traces_to_json(a.collector.traces) != \
         traces_to_json(b.collector.traces)
+
+
+def run_predict(train_seed=11, eval_seed=12):
+    """Train a predictor on one seeded run, score a second: returns
+    every byte-stable artifact of the predict pipeline."""
+    from repro.predict import (OnlineLogisticModel, run_scenario,
+                               predict_scenario)
+    from repro.predict.labels import (episodes_for_labeling, label_rows,
+                                      split_xy)
+
+    spec = predict_scenario("backpressure")
+    train = run_scenario(spec, train_seed)
+    examples = label_rows(train.tracker.matrix(),
+                          episodes_for_labeling(train.report),
+                          horizon=8.0)
+    x, y = split_xy(examples)
+    model = OnlineLogisticModel(seed=train_seed)
+    model.fit(x, y)
+    scored = run_scenario(spec, eval_seed, model=model, threshold=0.6)
+    return ("\n".join(train.tracker.export_lines()),
+            repr(model.to_dict()),
+            "\n".join(scored.predictor.export_lines()))
+
+
+def test_same_seed_predict_runs_are_byte_identical():
+    """The predict contract: feature matrix, learned weights, and the
+    prediction event log all replay byte-identically from the seed."""
+    features_a, weights_a, events_a = run_predict()
+    features_b, weights_b, events_b = run_predict()
+    assert features_a.encode() == features_b.encode()
+    assert weights_a.encode() == weights_b.encode()
+    assert events_a.encode() == events_b.encode()
+    # Sanity: the run produced features and the model actually alerted.
+    assert len(features_a.splitlines()) > 10
+    assert len(events_a.splitlines()) >= 1

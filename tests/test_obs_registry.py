@@ -1,7 +1,5 @@
 """Tests for the sim-time metrics registry."""
 
-import math
-
 import pytest
 
 from repro.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
@@ -111,7 +109,7 @@ def test_series_windows_and_means():
         reg.scrape(t)
     assert reg.series_in("v", 1.0, 3.0) == [(1.0, 2.0), (2.0, 4.0)]
     assert reg.mean_in("v", 1.0, 3.0) == 3.0
-    assert math.isnan(reg.mean_in("v", 10.0, 20.0))
+    assert reg.mean_in("v", 10.0, 20.0) is None
     with pytest.raises(KeyError):
         reg.series("nope")
 
@@ -121,3 +119,18 @@ def test_constructor_validation():
         MetricsRegistry(scrape_period=0.0)
     with pytest.raises(ValueError):
         MetricsRegistry(series_capacity=0)
+
+
+def test_scrape_listeners_run_after_each_scrape():
+    reg = MetricsRegistry(scrape_period=0.5)
+    g = reg.gauge("depth", labelnames=("service",))
+    child = g.labels(service="web")
+    reg.add_collect_hook(lambda now: child.set(now * 2))
+    seen = []
+    reg.add_scrape_listener(
+        lambda now: seen.append((now, reg.value("depth", service="web"))))
+    env = Environment()
+    reg.start(env)
+    env.run(until=1.6)
+    # Listeners observe the value the collect hook just refreshed.
+    assert seen == [(0.5, 1.0), (1.0, 2.0), (1.5, 3.0)]

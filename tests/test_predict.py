@@ -1,0 +1,405 @@
+"""Tests for the online QoS-violation prediction subsystem."""
+
+import json
+
+import pytest
+
+from repro.predict import (
+    FEATURE_NAMES,
+    FeatureRow,
+    MajorityClassModel,
+    OnlineLogisticModel,
+    OnlinePredictor,
+    ProactiveMitigator,
+    ThresholdHeuristicModel,
+    run_predict_pipeline,
+)
+from repro.predict.features import slope
+from repro.predict.harness import (
+    predict_scenario,
+    predict_scenario_names,
+    run_scenario,
+)
+from repro.predict.labels import (
+    EpisodeLabel,
+    episodes_for_labeling,
+    label_rows,
+    split_xy,
+)
+from repro.predict.models import build_model
+
+
+# ---------------------------------------------------------------- features
+def test_slope_closed_form():
+    assert slope([(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]) == 2.0
+    assert slope([(0.0, 7.0)]) == 0.0
+    assert slope([]) == 0.0
+    # Vertical stack of points (zero time spread) must not divide by 0.
+    assert slope([(1.0, 0.0), (1.0, 9.0)]) == 0.0
+
+
+def test_feature_row_to_dict_aligns_with_names():
+    values = tuple(float(i) for i in range(len(FEATURE_NAMES)))
+    row = FeatureRow(time=3.0, service="svc", values=values)
+    as_dict = row.to_dict()
+    assert as_dict["time"] == 3.0
+    assert as_dict["service"] == "svc"
+    for i, name in enumerate(FEATURE_NAMES):
+        assert as_dict[name] == float(i)
+
+
+@pytest.fixture(scope="module")
+def backpressure_run():
+    """One instrumented backpressure run, shared across tests."""
+    return run_scenario(predict_scenario("backpressure"), seed=1)
+
+
+def test_tracker_builds_one_row_per_tier_per_tick(backpressure_run):
+    tracker = backpressure_run.tracker
+    assert tracker.services == ["cache", "nginx"]
+    assert tracker.ticks > 0
+    assert len(tracker.rows) == tracker.ticks * len(tracker.services)
+    # Rows arrive in (tick, service) order with full-width vectors.
+    for row in tracker.rows:
+        assert len(row.values) == len(FEATURE_NAMES)
+    times = [row.time for row in tracker.rows]
+    assert times == sorted(times)
+
+
+def test_tracker_exclusive_share_is_a_share(backpressure_run):
+    idx = FEATURE_NAMES.index("exclusive_share")
+    by_tick = {}
+    for row in backpressure_run.tracker.rows:
+        assert 0.0 <= row.values[idx] <= 1.0
+        by_tick.setdefault(row.time, 0.0)
+        by_tick[row.time] += row.values[idx]
+    # The watched tiers cover the whole app here, so shares sum to ~1
+    # whenever any trace completed in the tick.
+    assert any(total > 0.99 for total in by_tick.values())
+
+
+def test_tracker_latest_and_export(backpressure_run):
+    tracker = backpressure_run.tracker
+    for service in tracker.services:
+        latest = tracker.latest(service)
+        assert latest is not None
+        assert latest.service == service
+        assert latest.time == tracker.rows[-1].time
+    lines = tracker.export_lines()
+    assert lines[0].startswith("time\tservice\t")
+    assert len(lines) == len(tracker.rows) + 1
+
+
+def test_tracker_sees_the_fault_coming(backpressure_run):
+    """The culprit tier's exclusive-time ratio rises during the ramp,
+    before the episode starts — the signal the predictor exists for."""
+    spec = predict_scenario("backpressure")
+    episode_start = backpressure_run.report.episodes[0].start
+    idx = FEATURE_NAMES.index("exclusive_ratio")
+    ramp_rows = [row for row in backpressure_run.tracker.rows
+                 if row.service == spec.fault_service
+                 and spec.fault_start + 2 <= row.time < episode_start]
+    assert ramp_rows, "episode started before the ramp could be seen"
+    assert max(row.values[idx] for row in ramp_rows) > 1.5
+
+
+# ---------------------------------------------------------------- labels
+def _row(t, service):
+    return FeatureRow(time=t, service=service,
+                      values=(0.0,) * len(FEATURE_NAMES))
+
+
+def test_label_rows_positive_only_for_culprit_within_horizon():
+    rows = [_row(t, s) for t in (1.0, 5.0, 9.0, 12.0)
+            for s in ("a", "b")]
+    episodes = [EpisodeLabel(start=10.0, end=20.0, culprit="a")]
+    examples = label_rows(rows, episodes, horizon=6.0)
+    labels = {(ex.row.time, ex.row.service): ex.label
+              for ex in examples}
+    # t=12 falls inside the episode: dropped for both tiers.
+    assert (12.0, "a") not in labels
+    assert (12.0, "b") not in labels
+    # t=5 and t=9 are within 6s of the start — positive only for the
+    # culprit tier.
+    assert labels[(5.0, "a")] == 1
+    assert labels[(9.0, "a")] == 1
+    assert labels[(5.0, "b")] == 0
+    assert labels[(9.0, "b")] == 0
+    # t=1 is too early even for the culprit.
+    assert labels[(1.0, "a")] == 0
+
+
+def test_label_rows_rejects_bad_horizon():
+    with pytest.raises(ValueError):
+        label_rows([], [], horizon=0.0)
+
+
+def test_episodes_for_labeling_accepts_json_form():
+    payload = {"episodes": [
+        {"start": 4.0, "end": 9.0, "top_culprit": "cache"}]}
+    episodes = episodes_for_labeling(payload)
+    assert episodes == [EpisodeLabel(start=4.0, end=9.0,
+                                     culprit="cache")]
+
+
+def test_split_xy_parallel_lists():
+    examples = label_rows(
+        [_row(1.0, "a"), _row(2.0, "a")],
+        [EpisodeLabel(start=3.5, end=5.0, culprit="a")], horizon=2.0)
+    x, y = split_xy(examples)
+    assert len(x) == len(y) == 2
+    assert y == [0, 1]
+
+
+# ---------------------------------------------------------------- models
+def test_majority_model_predicts_base_rate():
+    model = MajorityClassModel()
+    model.fit([(0.0,)] * 4, [0, 0, 1, 1])
+    assert model.predict_proba((9.9,)) == 0.5
+    assert model.to_dict()["base_rate"] == 0.5
+
+
+def _vector(**overrides):
+    values = {name: 0.0 for name in FEATURE_NAMES}
+    values["cache_hit_ratio"] = 1.0
+    values["exclusive_ratio"] = 1.0
+    values["queue_ratio"] = 1.0
+    values.update(overrides)
+    return tuple(values[name] for name in FEATURE_NAMES)
+
+
+def test_heuristic_requires_the_culprit_signal():
+    model = ThresholdHeuristicModel(z_alert=3.0, min_signals=2)
+    healthy = [_vector() for _ in range(30)]
+    model.fit(healthy, [0] * 30)
+    # Queues and block time rising without exclusive time: a victim
+    # tier's profile — must not alert.
+    victim = _vector(queue_ratio=50.0, block_share=0.9)
+    assert model.predict_proba(victim) == 0.0
+    # The culprit holds latency itself: exclusive ratio plus one more
+    # warning signal.
+    culprit = _vector(exclusive_ratio=50.0, queue_ratio=50.0)
+    assert model.predict_proba(culprit) > 0.0
+
+
+def test_heuristic_validates_parameters():
+    with pytest.raises(ValueError):
+        ThresholdHeuristicModel(z_alert=0.0)
+    with pytest.raises(ValueError):
+        ThresholdHeuristicModel(min_signals=0)
+
+
+def _toy_training():
+    x = [_vector(exclusive_ratio=1.0 + 0.01 * i) for i in range(40)]
+    x += [_vector(exclusive_ratio=8.0 + 0.01 * i) for i in range(10)]
+    y = [0] * 40 + [1] * 10
+    return x, y
+
+
+def test_logistic_learns_a_separable_problem():
+    x, y = _toy_training()
+    model = OnlineLogisticModel(seed=3)
+    model.fit(x, y)
+    assert model.predict_proba(_vector(exclusive_ratio=9.0)) > 0.9
+    assert model.predict_proba(_vector(exclusive_ratio=1.0)) < 0.1
+
+
+def test_logistic_same_seed_fit_is_byte_identical():
+    x, y = _toy_training()
+    a = OnlineLogisticModel(seed=7)
+    b = OnlineLogisticModel(seed=7)
+    a.fit(x, y)
+    b.fit(x, y)
+    assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+    other = OnlineLogisticModel(seed=8)
+    other.fit(x, y)
+    assert json.dumps(other.to_dict()) != json.dumps(a.to_dict())
+
+
+def test_logistic_partial_fit_keeps_learning():
+    x, y = _toy_training()
+    model = OnlineLogisticModel(seed=1)
+    model.fit(x, y)
+    before = list(model.weights)
+    model.partial_fit(_vector(exclusive_ratio=9.0), 1)
+    assert model.weights != before
+
+
+def test_build_model_factory():
+    assert build_model("majority").name == "majority"
+    assert build_model("heuristic").name == "heuristic"
+    assert build_model("logistic", seed=5).seed == 5
+    with pytest.raises(ValueError):
+        build_model("transformer")
+
+
+# ------------------------------------------------------------- predictor
+class _StubTracker:
+    def __init__(self, services):
+        self.services = services
+        self.ticks = 0
+        self._rows = {}
+
+    def set_row(self, now, service, probability_proxy):
+        self._rows[service] = FeatureRow(
+            time=now, service=service,
+            values=(probability_proxy,) + (0.0,) *
+            (len(FEATURE_NAMES) - 1))
+
+    def latest(self, service):
+        return self._rows.get(service)
+
+
+class _StubModel:
+    """Reads the 'probability' straight out of the first feature."""
+
+    def predict_proba(self, values):
+        return values[0]
+
+
+def test_predictor_warmup_cooldown_and_events():
+    tracker = _StubTracker(["a", "b"])
+    predictor = OnlinePredictor(tracker, _StubModel(), threshold=0.5,
+                                cooldown=5.0, min_history=2)
+    for tick in range(8):
+        now = float(tick)
+        tracker.ticks = tick + 1
+        tracker.set_row(now, "a", 0.9)
+        tracker.set_row(now, "b", 0.1)
+        predictor.on_scrape(now)
+    # Tick 0 is under min_history; alerts then de-bounce on the 5s
+    # cooldown: t=1, t=6.  Tier b never crosses the threshold.
+    assert [(e.time, e.service) for e in predictor.events] == \
+        [(1.0, "a"), (6.0, "a")]
+    assert predictor.first_alert("a") == 1.0
+    assert predictor.first_alert("b") is None
+    assert len(predictor.export_lines()) == 2
+
+
+def test_predictor_forwards_to_mitigator():
+    class Recorder:
+        def __init__(self):
+            self.seen = []
+
+        def on_prediction(self, event):
+            self.seen.append(event)
+
+    tracker = _StubTracker(["a"])
+    recorder = Recorder()
+    predictor = OnlinePredictor(tracker, _StubModel(), threshold=0.5,
+                                cooldown=0.0, min_history=1,
+                                mitigator=recorder)
+    tracker.ticks = 1
+    tracker.set_row(0.0, "a", 1.0)
+    predictor.on_scrape(0.0)
+    assert [e.service for e in recorder.seen] == ["a"]
+
+
+def test_predictor_validates_parameters():
+    tracker = _StubTracker(["a"])
+    with pytest.raises(ValueError):
+        OnlinePredictor(tracker, _StubModel(), threshold=0.0)
+    with pytest.raises(ValueError):
+        OnlinePredictor(tracker, _StubModel(), cooldown=-1.0)
+
+
+# ------------------------------------------------------------ mitigation
+class _AlwaysCulprit:
+    """Fires on one tier once warm — drives the mitigation tests."""
+
+    def __init__(self, culprit):
+        self.culprit = culprit
+
+    def predict_proba(self, values):
+        return 1.0
+
+    def fit(self, x, y):
+        pass
+
+
+def test_prescale_adds_replicas_through_the_bookkeeper():
+    spec = predict_scenario("backpressure")
+    run = run_scenario(spec, seed=2, model=_AlwaysCulprit("cache"),
+                       threshold=0.9, mitigate=("prescale",),
+                       startup_delay=2.0)
+    actions = [e for e in run.mitigator.events
+               if e.action == "prescale"]
+    assert actions, "no prescale action fired"
+    # The deployment really grew: new cache replicas came online.
+    assert len(run.result.deployment.instances_of("cache")) > 1
+
+
+class _FiresOnce:
+    """Alerts on the first scored tick only, so the shed hold can
+    expire inside the run (repeated alerts extend it by design)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict_proba(self, values):
+        self.calls += 1
+        return 1.0 if self.calls <= 2 else 0.0
+
+
+def test_shed_tightens_and_restores_the_front_door():
+    spec = predict_scenario("backpressure")
+    run = run_scenario(spec, seed=2, model=_FiresOnce(),
+                       threshold=0.9, mitigate=("shed",))
+    kinds = [e.action for e in run.mitigator.events]
+    assert "shed" in kinds
+    assert "shed_restore" in kinds
+    # After the hold expires the limit is back where it started.
+    assert run.result.deployment.shedder.max_concurrent == 32
+
+
+def test_mitigator_validates_configuration():
+    spec = predict_scenario("backpressure")
+    from repro.sim import Environment
+    env = Environment()
+    deployment = spec.build(env, 1)
+    with pytest.raises(ValueError):
+        ProactiveMitigator(env, deployment, actions=("reboot",))
+    with pytest.raises(ValueError):
+        ProactiveMitigator(env, deployment, prescale_step=0)
+    with pytest.raises(ValueError):
+        ProactiveMitigator(env, deployment, shed_fraction=0.0)
+    with pytest.raises(ValueError):
+        ProactiveMitigator(env, deployment, shed_hold=0.0)
+
+
+# --------------------------------------------------------------- harness
+def test_scenario_registry():
+    names = predict_scenario_names()
+    assert "backpressure" in names
+    assert "cascade" in names
+    with pytest.raises(KeyError):
+        predict_scenario("thundering-herd")
+
+
+def test_backpressure_attributes_the_cache(backpressure_run):
+    report = backpressure_run.report
+    assert report.episodes, "the ramped fault must violate QoS"
+    episode = report.episodes[0]
+    # The ramp starts before the episode: there is a window to predict.
+    spec = predict_scenario("backpressure")
+    assert episode.start > spec.fault_start
+    assert episode.evidence[0].service == spec.fault_service
+
+
+def test_pipeline_beats_the_majority_floor():
+    report = run_predict_pipeline(
+        scenario="backpressure", model_kind="heuristic",
+        threshold=0.3)
+    for ev in report.evals:
+        assert ev.recall == 1.0
+        assert ev.precision is not None and ev.precision >= 0.5
+        assert ev.mean_lead is not None and ev.mean_lead > 0.0
+    payload = report.to_dict()
+    assert payload["scenario"] == "backpressure"
+    assert json.dumps(payload, allow_nan=False)
+    assert "held-out evaluation" in report.render()
+
+
+def test_pipeline_rejects_unknown_scenario():
+    with pytest.raises(KeyError):
+        run_predict_pipeline(scenario="nope")

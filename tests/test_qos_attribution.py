@@ -120,3 +120,31 @@ def test_attribution_validates_target():
                       n_machines=3, seed=1)
     with pytest.raises(ValueError):
         attribute_qos_violations(result, target=0.0)
+
+
+def test_empty_metric_windows_are_none_not_nan():
+    """Regression: an episode shorter than the scrape cadence leaves
+    the registry window empty; that used to surface as nan and flow
+    silently through the evidence arithmetic.  Missing measurements
+    must be None (utilization falling back to the harness samples) and
+    the whole report must serialize as strict JSON."""
+    import json
+
+    app = build_app("social_network")
+
+    def inject(deployment):
+        deployment.delay_service("mongo-posts", 0.05)
+
+    result = simulate(app, qps=80, duration=10.0, n_machines=4, seed=2,
+                      metrics=MetricsRegistry(scrape_period=100.0),
+                      setup=inject)
+    report = attribute_qos_violations(result)
+    assert report.violated
+    for ep in report.episodes:
+        for ev in ep.evidence:
+            # No scrapes landed, so queue growth is unknowable...
+            assert ev.queue_growth is None
+            # ...but utilization falls back to the harness samples.
+            assert ev.utilization is None or ev.utilization == ev.utilization
+    # Strict JSON: nan anywhere in the report would raise here.
+    json.dumps(report.to_dict(), allow_nan=False)
