@@ -1,0 +1,125 @@
+"""Multi-region walkthrough: a region outage, geo failover, and the
+consistency bill.
+
+Two regions (us-east, eu-west) each run a full copy of a two-tier app
+— an nginx web tier in front of a single-primary mongo store pinned to
+us-east — behind a geo-aware front door that homes 70 % of users in
+us-east.  At t=5s a :class:`~repro.region.RegionOutage` takes down
+every us-east machine for 12 seconds.
+
+The script runs the same deterministic scenario three times:
+
+1. **baseline** — no faults; the steady-state sanity check.
+2. **failover** — the front door's health probes eject the dead region
+   within ~2 probe rounds and re-home its users to eu-west.  They keep
+   their goodput, but their reads against the us-east-pinned store now
+   observe replication lag: the stale reads the scorecard counts.
+3. **sticky** — the same outage with re-homing disabled.  Requests
+   keep flowing into the dead region's frozen replicas and the orphaned
+   population's goodput collapses.
+
+It ends with the global resilience scorecards and the acceptance
+gates the CI region-smoke job enforces: the baseline holds steady
+state, failover recovers >= 2x the sticky arm's goodput during the
+outage, and cross-region MTTR tracks outage length plus the
+probe-driven re-homing delay.
+
+Run:  python examples/multi_region_failover.py
+"""
+
+from repro.region import RegionOutage, run_region_scenario, \
+    two_region_topology
+from repro.services import Application, CallNode, Operation, seq
+from repro.services.datastores import mongodb, nginx
+from repro.stats import format_table
+
+QOS = 0.1
+QPS = 80.0
+DURATION = 30.0
+OUTAGE_AT = 5.0
+OUTAGE_LEN = 12.0
+SEED = 7
+PRIMARY, SECONDARY = "us-east", "eu-west"
+
+
+def build_app():
+    return Application(
+        name="geo-web",
+        services={"web": nginx("web", work_mean=2e-3),
+                  "store": mongodb("store")},
+        operations={"get": Operation(name="get", root=CallNode(
+            service="web", groups=seq(CallNode(service="store"))))},
+        qos_latency=QOS,
+        regions=[PRIMARY, SECONDARY],
+        service_regions={"store": PRIMARY})
+
+
+def run(mode, faults):
+    return run_region_scenario(
+        build_app(), faults,
+        topology=two_region_topology(machines=3, rtt=0.025,
+                                     primary_share=0.7),
+        qps=QPS, duration=DURATION, mode=mode, seed=SEED,
+        replicas={"web": 4, "store": 2},
+        scenario=f"region:{mode}")
+
+
+def outage_goodput(scenario_run):
+    """Within-QoS completions/s while the outage is active."""
+    latencies = scenario_run.frontdoor.collector.end_to_end.samples(
+        start=OUTAGE_AT, end=OUTAGE_AT + OUTAGE_LEN)
+    return sum(1 for lat in latencies if lat <= QOS) / OUTAGE_LEN
+
+
+def main():
+    outage = [RegionOutage(PRIMARY, start=OUTAGE_AT, duration=OUTAGE_LEN)]
+    baseline = run("failover", None)
+    failover = run("failover", outage)
+    sticky = run("sticky", outage)
+
+    print("front-door timeline (failover arm):")
+    for event in failover.frontdoor.events:
+        print(f"  t={event.time:6.2f}s  {event.kind:>8}  "
+              f"population {event.population} -> region {event.region}")
+    print()
+
+    rows = []
+    for name, arm in (("baseline", baseline), ("failover", failover),
+                      ("sticky", sticky)):
+        card = arm.scorecard
+        mttr = "-" if card.cross_region_mttr is None \
+            else f"{card.cross_region_mttr:.2f}s"
+        rows.append([
+            name, "held" if card.steady_state_ok else "VIOLATED",
+            f"{outage_goodput(arm):.1f}/s", mttr,
+            str(card.stale_reads),
+            f"{card.region_blast.get(PRIMARY, 0.0):.1f}"])
+    print(format_table(
+        ["arm", "steady state", "outage goodput", "x-region MTTR",
+         "stale reads", f"blast {PRIMARY} (tier-s)"],
+        rows, title=f"{OUTAGE_LEN:.0f}s {PRIMARY} outage: "
+                    "failover vs sticky front door"))
+    print()
+    print(failover.scorecard.render())
+
+    # -- acceptance gates (the CI region-smoke job runs these) --------
+    assert baseline.scorecard.steady_state_ok, "baseline violated QoS"
+    assert baseline.scorecard.fault_count == 0
+    assert baseline.scorecard.stale_reads == 0
+
+    good_f, good_s = outage_goodput(failover), outage_goodput(sticky)
+    assert good_f >= 2.0 * good_s, \
+        f"failover {good_f:.1f}/s < 2x sticky {good_s:.1f}/s"
+
+    mttr = failover.scorecard.cross_region_mttr
+    assert mttr is not None and mttr <= OUTAGE_LEN + 3.0, \
+        f"cross-region MTTR {mttr} exceeds bound"
+    assert failover.scorecard.stale_reads > 0
+
+    print(f"\nOK: failover recovered {good_f / good_s:.1f}x the sticky "
+          f"arm's goodput; cross-region MTTR {mttr:.2f}s "
+          f"(outage {OUTAGE_LEN:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

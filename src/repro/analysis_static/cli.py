@@ -46,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-chaos", action="store_true",
         help="skip fault-schedule validation of the registered chaos "
-             "scenarios (FAULT001-FAULT003)")
+             "scenarios and the canonical region schedule "
+             "(FAULT001-FAULT004)")
     parser.add_argument(
         "--explain", action="store_true",
         help="print the rule table and exit")
@@ -104,9 +105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_apps and not args.no_chaos and not args.apps_only:
         # Registered chaos scenarios must build valid fault schedules
         # against a canonical deployment (FAULT001-FAULT003).
-        from .faultcheck import check_scenarios
+        from .faultcheck import check_region_schedule, check_scenarios
         chaos_findings, _ = check_scenarios()
         findings.extend(chaos_findings)
+        region_findings, _ = check_region_schedule()
+        findings.extend(region_findings)
 
     if select is not None:
         findings = [f for f in findings if f.code in select]

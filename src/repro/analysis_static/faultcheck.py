@@ -1,4 +1,4 @@
-"""Static validation of fault schedules (FAULT001-FAULT003).
+"""Static validation of fault schedules (FAULT001-FAULT004).
 
 A chaos schedule is a program: it has targets that must resolve, a
 timeline that must be ordered, and composition hazards (two faults
@@ -27,6 +27,12 @@ Rules
     Dangling target: a machine, service, replica index, or zone the
     deployment does not actually have.  A fault that targets nothing
     runs green and measures nothing.
+``FAULT004``
+    Dangling *region* target: a region-scale fault
+    (:class:`~repro.region.RegionOutage`,
+    :class:`~repro.region.InterRegionPartition`) names a region the
+    deployment does not define — or the deployment is not region-aware
+    at all (a plain single-cluster ``Deployment``).
 """
 
 from __future__ import annotations
@@ -36,11 +42,13 @@ from typing import List, Optional, Tuple
 
 from .rules import Finding, Severity
 
-__all__ = ["FaultScheduleError", "validate_schedule", "check_scenarios"]
+__all__ = ["FaultScheduleError", "validate_schedule", "check_scenarios",
+           "check_region_schedule"]
 
-_CRASH_KINDS = ("machine_crash", "correlated_crash", "zone_outage")
+_CRASH_KINDS = ("machine_crash", "correlated_crash", "zone_outage",
+                "region_outage")
 _SERVICE_KINDS = ("datastore_slowdown", "gray_failure")
-_LINK_KINDS = ("partition", "link_degradation")
+_LINK_KINDS = ("partition", "link_degradation", "inter_region_partition")
 
 _INF = float("inf")
 
@@ -113,6 +121,23 @@ def _check_targets(fault, ctx, known_zones, path: str
                     f"fault {fault.name!r} targets zone {zone!r}, "
                     "which has no machines (and is not 'client')",
                     path))
+    if targets.regions:
+        known_regions = getattr(ctx.deployment, "region_names", None)
+        if known_regions is None:
+            out.append(_finding(
+                "FAULT004",
+                f"fault {fault.name!r} is region-scale but the "
+                "deployment is not region-aware (run it against a "
+                "MultiRegionDeployment)", path))
+        else:
+            for region in targets.regions:
+                if region not in known_regions:
+                    out.append(_finding(
+                        "FAULT004",
+                        f"fault {fault.name!r} targets region "
+                        f"{region!r}, which the deployment does not "
+                        f"define (regions: "
+                        f"{', '.join(known_regions)})", path))
     if fault.kind == "gray_failure" \
             and fault.service in app.services:
         replicas = len(ctx.deployment.instances_of(fault.service))
@@ -156,7 +181,8 @@ def _check_conflicts(faults, targets_by_idx, deployment,
                 shared = sorted(set(ta.services) & set(tb.services))
                 what = "service"
             elif a.kind in _LINK_KINDS and b.kind in _LINK_KINDS:
-                shared = sorted(set(ta.zones) & set(tb.zones))
+                shared = sorted((set(ta.zones) | set(ta.regions))
+                                & (set(tb.zones) | set(tb.regions)))
                 what = "zone link at"
             if shared:
                 out.append(_finding(
@@ -270,3 +296,31 @@ def check_scenarios(app_name: str = "social_network",
             schedule, deployment, path=f"scenario:{name}"))
         checked += 1
     return findings, checked
+
+
+def check_region_schedule(app_name: str = "social_network",
+                          machines: int = 3,
+                          ) -> Tuple[List[Finding], int]:
+    """Validate the canonical region-scale schedule (outage of the
+    primary, then a long-haul partition) against a two-region
+    deployment.  Returns (findings, schedules checked) — the lint
+    CLI's region pass, exercising FAULT004's vocabulary end to end."""
+    from ..apps.registry import build_app
+    from ..chaos.schedule import FaultSchedule
+    from ..region import (InterRegionPartition, MultiRegionDeployment,
+                          RegionOutage, two_region_topology)
+    from ..sim.engine import Environment
+
+    env = Environment()
+    topology = two_region_topology(machines=machines)
+    deployment = MultiRegionDeployment(env, build_app(app_name),
+                                       topology)
+    primary, secondary = topology.names[0], topology.names[1]
+    schedule = FaultSchedule([
+        RegionOutage(primary, start=5.0, duration=10.0),
+        InterRegionPartition(primary, secondary, start=20.0,
+                             duration=5.0),
+    ])
+    findings = validate_schedule(schedule, deployment,
+                                 path="region:two-region-failover")
+    return findings, 1

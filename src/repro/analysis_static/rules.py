@@ -112,6 +112,19 @@ ALL_RULES: Dict[str, tuple] = {
         "fix the target name/index, or build the schedule from the "
         "deployment so targets resolve",
     ),
+    "FAULT004": (
+        "dangling region target: a region-scale fault names a region "
+        "the deployment does not define (or the deployment is not "
+        "region-aware at all)",
+        "target a region declared in the RegionTopology, or run the "
+        "schedule against a MultiRegionDeployment",
+    ),
+    "TOPO006": (
+        "service pinned to an undeclared region",
+        "add the region to the application's regions list (or fix the "
+        "service_regions entry); an undeclared primary region leaves "
+        "replication lag and failover semantics undefined",
+    ),
 }
 
 

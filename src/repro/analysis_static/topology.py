@@ -21,6 +21,12 @@ message:
     Non-positive capacity or rate: ``max_workers <= 0``, negative
     work/payloads, negative operation weights, an all-zero mix, or a
     non-positive QoS target.
+``TOPO006``
+    Region pin outside the declared footprint: ``service_regions``
+    names a region that ``regions`` does not declare (or the app
+    declares no regions at all).  An undeclared primary region leaves
+    replication-lag and failover semantics undefined when the app is
+    deployed multi-region.
 ``TOPO005``
     Retry amplification: with resilience policies attached, the
     worst case number of attempts reaching a service is the product of
@@ -123,6 +129,8 @@ def validate_topology(services: Mapping[str, object],
                       entry_service: Optional[str] = None,
                       sharded_services: Sequence[str] = (),
                       service_zones: Optional[Mapping[str, str]] = None,
+                      regions: Sequence[str] = (),
+                      service_regions: Optional[Mapping[str, str]] = None,
                       policies: Optional[Mapping[str, object]] = None,
                       default_policy: Optional[object] = None,
                       app_name: str = "app") -> List[Finding]:
@@ -149,6 +157,24 @@ def validate_topology(services: Mapping[str, object],
     for name in (service_zones or {}):
         if name not in services:
             err("TOPO002", f"zoned service {name!r} is undefined")
+    for name in (service_regions or {}):
+        if name not in services:
+            err("TOPO002", f"region-pinned service {name!r} is undefined")
+
+    # -- TOPO006: region pins outside the declared footprint ------------
+    declared = list(regions)
+    for name, region in (service_regions or {}).items():
+        if region in declared:
+            continue
+        if declared:
+            err("TOPO006",
+                f"service {name!r} is pinned to region {region!r}, "
+                f"which is not declared (regions: "
+                f"{', '.join(declared)})")
+        else:
+            err("TOPO006",
+                f"service {name!r} is pinned to region {region!r} but "
+                "the application declares no regions")
 
     # -- TOPO001: call-graph cycles -------------------------------------
     edges = _edges(operations)
@@ -279,6 +305,8 @@ def validate_app(app, policies: Optional[Mapping[str, object]] = None,
         entry_service=app.entry_service,
         sharded_services=app.sharded_services,
         service_zones=app.service_zones,
+        regions=getattr(app, "regions", ()),
+        service_regions=getattr(app, "service_regions", None),
         policies=policies, default_policy=default_policy,
         app_name=app.name)
     if app.qos_latency <= 0:

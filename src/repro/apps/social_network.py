@@ -276,6 +276,18 @@ def build_social_network() -> Application:
         entry_service="nginx-lb",
         sharded_services=["mc-timeline", "mongo-timeline", "readTimeline",
                           "writeTimeline"],
+        # Multi-region footprint: every tier is deployed in every
+        # region; the mongo tiers are single-primary in us-east, so a
+        # failed-over read in another region can observe replication
+        # lag (the stale reads the region scorecard counts).
+        regions=["us-east", "eu-west"],
+        service_regions={
+            "mongo-posts": "us-east",
+            "mongo-userinfo": "us-east",
+            "mongo-media": "us-east",
+            "mongo-timeline": "us-east",
+            "mongo-graph": "us-east",
+        },
         metadata={
             "paper_table1": {
                 "total_locs": 15198,

@@ -71,6 +71,9 @@ class FaultTargets:
     services: List[str] = field(default_factory=list)
     machines: List[str] = field(default_factory=list)
     zones: List[str] = field(default_factory=list)
+    #: Region names a region-scale fault touches (``RegionOutage``,
+    #: ``InterRegionPartition``); validated by FAULT004.
+    regions: List[str] = field(default_factory=list)
 
 
 def _resolve_machine(ctx: ChaosContext, spec: MachineSpec) -> Machine:
@@ -249,7 +252,19 @@ class MachineCrash(Fault):
 
 
 class CorrelatedCrash(Fault):
-    """Several machines crash together (shared rack/PDU/hypervisor)."""
+    """Several machines crash together (shared rack/PDU/hypervisor).
+
+    This is the shared group-crash machinery: :class:`ZoneOutage` is a
+    thin shim resolving members from a placement zone, and
+    :class:`~repro.region.RegionOutage` resolves them from one region's
+    cluster.  Beyond reverting each member crash, the group repair
+    restores every surviving replica's *per-replica* speed factor to
+    its pre-outage value and re-bakes the cached CPU rate of every
+    instance currently hosted on a member machine — replicas
+    provisioned mid-outage (health-checker replacements placed against
+    frozen/slowed machine state) come out of repair at full speed
+    instead of inheriting outage-era rates.
+    """
 
     kind = "correlated_crash"
 
@@ -266,6 +281,7 @@ class CorrelatedCrash(Fault):
                                   cache_warmup=cache_warmup)
         self.machine_specs = list(machines)
         self._crashes: List[MachineCrash] = []
+        self._speed_factors: List[tuple] = []
         super().__init__(start, duration, name or self.kind)
 
     def _members(self, ctx: ChaosContext) -> List[Machine]:
@@ -283,21 +299,50 @@ class CorrelatedCrash(Fault):
             zones=sorted({m.zone for m in machines}))
 
     def _inject(self, ctx: ChaosContext) -> None:
+        members = self._members(ctx)
+        # Snapshot per-replica speed factors before any member crashes:
+        # the group repair restores them for replicas that survive the
+        # outage (mirroring the guarded restore MachineCrash does for
+        # machine-level slow factors).
+        self._speed_factors = [
+            (inst, inst.definition.name, inst.speed_factor)
+            for machine in members for inst in machine.instances]
         self._crashes = [
             MachineCrash(machine, **self._crash_kwargs)
-            for machine in self._members(ctx)
+            for machine in members
         ]
         for crash in self._crashes:
             crash.inject(ctx)
 
     def _revert(self, ctx: ChaosContext) -> None:
+        members = [crash.record.machine for crash in self._crashes]
         for crash in self._crashes:
             crash.revert(ctx)
         self._crashes = []
+        # A replica may have been retired mid-outage (health-checker
+        # replacement); restoring a detached instance is moot — the
+        # same guard GrayFailure's revert applies.
+        for inst, service, factor in self._speed_factors:
+            if inst in ctx.deployment.instances_of(service):
+                inst.set_speed_factor(factor)
+        self._speed_factors = []
+        # Replacements provisioned mid-outage baked their CPU rate
+        # against in-outage machine state (a frozen machine's crawl
+        # factor); with the machines restored, re-derive every hosted
+        # instance's effective rate.
+        for machine in members:
+            for inst in machine.instances:
+                inst.refresh_rate()
 
 
 class ZoneOutage(CorrelatedCrash):
-    """Every machine in one placement zone goes down together."""
+    """Every machine in one placement zone goes down together.
+
+    A thin shim over the :class:`CorrelatedCrash` group-crash
+    machinery — the same machinery :class:`~repro.region.RegionOutage`
+    generalizes to a whole region's cluster — so repair semantics
+    (per-replica speed-factor restore, rate re-bake for mid-outage
+    replacements, cold caches) are defined once."""
 
     kind = "zone_outage"
 

@@ -28,6 +28,15 @@ Commands
     detection time, MTTR, blast radius, goodput lost, attributed
     culprit.  ``--out`` writes the scorecards as JSON; a steady-state
     violation on a no-fault baseline exits non-zero.
+``region APP [--mode failover|sticky]``
+    Run a two-region deployment through a region outage behind the geo
+    front door: per-region clusters over a cross-region RTT matrix,
+    async replication with bounded staleness, health-probe failover.
+    Prints the global resilience scorecard (blast radius per region,
+    cross-region MTTR, stale reads); ``--compare-sticky`` also runs the
+    sticky-routing ablation and reports the goodput ratio; ``--out``
+    writes JSON; ``--max-mttr`` gates the exit code (CI's region-smoke
+    hook), as does a broken no-fault baseline.
 ``provision APP --qps N``
     Print the balanced replica allocation (Sec. 3.8) for a target load.
 ``sweep APP --qps A B C``
@@ -37,8 +46,10 @@ Commands
     (the Fig. 4-8 diagrams).
 ``lint [PATHS]``
     Run the simulation-safety static analysis (``simlint`` rule codes
-    SIM001-SIM005) and the topology validator over the registered
-    application graphs (TOPO001-TOPO005); non-zero exit on findings.
+    SIM001-SIM005), the topology validator over the registered
+    application graphs (TOPO001-TOPO006, including region pins), and
+    the fault-schedule validators (FAULT001-FAULT004, including
+    dangling region targets); non-zero exit on findings.
 """
 
 from __future__ import annotations
@@ -324,6 +335,107 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_region(args) -> int:
+    from .chaos.schedule import FaultSchedule
+    from .chaos.scorecard import SteadyStateHypothesis
+    from .region import (RegionOutage, run_region_scenario,
+                         two_region_topology)
+
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    # A geo-failover SLO must budget the wide-area legs a failed-over
+    # request pays (out and back, plus probe slack).
+    qos = args.qos if args.qos is not None \
+        else app.qos_latency + 4 * args.rtt
+    hypothesis = SteadyStateHypothesis(latency=qos)
+
+    def topo():
+        return two_region_topology(machines=args.machines,
+                                   rtt=args.rtt,
+                                   primary_share=args.primary_share)
+
+    primary = topo().names[0]
+
+    def schedule():
+        return FaultSchedule([RegionOutage(
+            primary, start=args.outage_at,
+            duration=None if args.permanent else args.outage_duration)])
+
+    def run(faults, mode, scenario):
+        return run_region_scenario(
+            app, faults, topology=topo(), qps=args.qps,
+            duration=args.duration, mode=mode, seed=args.seed,
+            replicas=replicas, hypothesis=hypothesis,
+            scenario=scenario)
+
+    baseline = run(None, args.mode, "region-baseline")
+    outage = run(schedule(), args.mode, f"region-outage-{args.mode}")
+    print(outage.scorecard.render())
+    print()
+    sticky = None
+    if args.compare_sticky and args.mode == "failover":
+        sticky = run(schedule(), "sticky", "region-outage-sticky")
+
+    def fmt(value, unit="s"):
+        return "-" if value is None else f"{value:.2f}{unit}"
+
+    runs = [baseline, outage] + ([sticky] if sticky else [])
+    rows = [[r.scenario,
+             "held" if r.scorecard.steady_state_ok else "VIOLATED",
+             fmt(r.scorecard.detection_time),
+             fmt(r.scorecard.cross_region_mttr),
+             str(r.scorecard.stale_reads),
+             f"{r.post_fault_goodput(qos):.1f}"]
+            for r in runs]
+    print(format_table(
+        ["run", "steady state", "detection", "cross-region MTTR",
+         "stale reads", "good QPS after fault"], rows,
+        title=f"{app.name} region suite @ {args.qps:g} QPS "
+              f"(outage of {primary})"))
+    ratio = None
+    if sticky is not None:
+        sticky_good = sticky.post_fault_goodput(qos)
+        failover_good = outage.post_fault_goodput(qos)
+        ratio = failover_good / sticky_good if sticky_good > 0 \
+            else float("inf")
+        print(f"failover vs sticky post-fault goodput: "
+              f"{failover_good:.1f} vs {sticky_good:.1f} req/s "
+              f"({ratio:.2f}x)")
+
+    if args.out:
+        import json
+        payload = {
+            "app": app.name, "qps": args.qps,
+            "duration": args.duration, "seed": args.seed,
+            "rtt": args.rtt, "qos": qos, "mode": args.mode,
+            "runs": {r.scenario: r.scorecard.to_dict() for r in runs},
+            "post_fault_goodput": {
+                r.scenario: r.post_fault_goodput(qos) for r in runs},
+        }
+        if ratio is not None:
+            payload["goodput_ratio"] = \
+                None if ratio == float("inf") else ratio
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"scorecards written to {args.out}")
+
+    if not baseline.scorecard.steady_state_ok:
+        print("error: steady-state hypothesis violated without faults: "
+              f"{baseline.scorecard.steady_state_detail}",
+              file=sys.stderr)
+        return 1
+    if args.max_mttr is not None:
+        mttr = outage.scorecard.cross_region_mttr
+        if mttr is None or mttr > args.max_mttr:
+            print(f"error: cross-region MTTR "
+                  f"{'unrecovered' if mttr is None else f'{mttr:.2f}s'}"
+                  f" exceeds the {args.max_mttr:g}s bound",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_provision(args) -> int:
     app = build_app(args.app)
     replicas = balanced_provision(app, target_qps=args.qps,
@@ -485,6 +597,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the scorecards as JSON to FILE")
 
+    p = sub.add_parser(
+        "region", help="multi-region failover experiment")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=60.0,
+                   help="global offered load across all populations")
+    p.add_argument("--duration", type=float, default=25.0)
+    p.add_argument("--machines", type=int, default=3,
+                   help="machines per region")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", choices=["failover", "sticky"],
+                   default="failover",
+                   help="front-door routing mode (sticky = ablation)")
+    p.add_argument("--outage-at", type=_positive_float, default=5.0,
+                   help="when the primary-region outage injects")
+    p.add_argument("--outage-duration", type=_positive_float,
+                   default=6.0, help="outage length in seconds")
+    p.add_argument("--permanent", action="store_true",
+                   help="the outage never repairs")
+    p.add_argument("--rtt", type=_positive_float, default=0.04,
+                   help="one-way inter-region latency in seconds")
+    p.add_argument("--primary-share", type=float, default=0.6,
+                   help="fraction of users homed in the primary")
+    p.add_argument("--qos", type=_positive_float, default=None,
+                   help="global latency SLO in seconds (default: the "
+                        "app's QoS bound plus 4x the RTT)")
+    p.add_argument("--compare-sticky", action="store_true",
+                   help="also run the sticky-routing ablation and "
+                        "report the goodput ratio")
+    p.add_argument("--max-mttr", type=_positive_float, default=None,
+                   help="fail (exit 1) if cross-region MTTR exceeds "
+                        "this bound or routing never recovers")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the scorecards as JSON to FILE")
+
     p = sub.add_parser("provision", help="balanced provisioning")
     p.add_argument("app", choices=app_names())
     p.add_argument("--qps", type=float, default=300.0)
@@ -518,6 +664,7 @@ _COMMANDS = {
     "report": _cmd_report_qos,
     "predict": _cmd_predict,
     "chaos": _cmd_chaos,
+    "region": _cmd_region,
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,
     "dot": _cmd_dot,

@@ -181,6 +181,31 @@ class NetworkFabric:
             return base
         return self.rng.lognormal("fabric.jitter", base, self.jitter_cv)
 
+    def wire_delay(self, src_zone: str, dst_zone: str):
+        """The wire leg of one message between two zones: partition
+        stall (if the link is cut), jittered propagation, injected
+        extra latency, and loss paid as RTO retransmits.
+
+        A generator to be driven with ``yield from``; returns the
+        seconds spent.  :meth:`transfer` uses it for the intra-cluster
+        hop, and the cross-region layer (:mod:`repro.region`) reuses it
+        for front-door legs, health probes, and replication shipping so
+        every path over a link shares one fault model."""
+        total = 0.0
+        fault = self.link_faults.get((src_zone, dst_zone))
+        if fault is not None and fault.partitioned:
+            # The cut holds the message; it delivers after heal.
+            t0 = self.env.now
+            yield fault.partition_heal
+            total += self.env.now - t0
+        wire = self._jittered(self.latency(src_zone, dst_zone))
+        if fault is not None:
+            wire += fault.extra_latency
+            if fault.loss_rate > 0.0:
+                wire += self._retransmit_delay(fault)
+        yield self.env.timeout(wire)
+        return total + wire
+
     def _congested(self, cost: float, instance) -> float:
         """Inflate kernel CPU cost by the host's current load."""
         if self.congestion_coeff <= 0:
@@ -226,19 +251,7 @@ class NetworkFabric:
             # Wire / switch propagation.
             src_zone = src.machine.zone if src is not None else "client"
             dst_zone = dst.machine.zone if dst is not None else "client"
-            fault = self.link_faults.get((src_zone, dst_zone))
-            if fault is not None and fault.partitioned:
-                # The cut holds the message; it delivers after heal.
-                t0 = self.env.now
-                yield fault.partition_heal
-                timing.wire += self.env.now - t0
-            wire = self._jittered(self.latency(src_zone, dst_zone))
-            if fault is not None:
-                wire += fault.extra_latency
-                if fault.loss_rate > 0.0:
-                    wire += self._retransmit_delay(fault)
-            yield self.env.timeout(wire)
-            timing.wire += wire
+            timing.wire += yield from self.wire_delay(src_zone, dst_zone)
             # Receiver NIC.
             if dst is not None:
                 with dst.machine.nic_rx.request() as req:

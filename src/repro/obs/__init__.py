@@ -6,6 +6,7 @@ from .instrument import (
     instrument_autoscaler,
     instrument_deployment,
     instrument_experiment,
+    instrument_frontdoor,
     instrument_generator,
     instrument_health,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "instrument_generator",
     "instrument_autoscaler",
     "instrument_health",
+    "instrument_frontdoor",
     "instrument_experiment",
     "QoSReport",
     "TierEvidence",

@@ -150,6 +150,11 @@ def traces_to_otlp_json(traces: Iterable[Trace],
         }
         if trace.user is not None:
             record["attributes"].append(_attr("repro.user", trace.user))
+        # After-the-fact marks (e.g. the geo front door's failover /
+        # stale-read tags); sorted so exports stay byte-identical.
+        for key in sorted(span.annotations):
+            record["attributes"].append(
+                _attr(f"repro.{key}", span.annotations[key]))
         by_service.setdefault(span.service, []).append(record)
         for child in span.children:
             visit(child, trace, trace_idx, counter, span_hex)

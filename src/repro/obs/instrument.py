@@ -61,6 +61,7 @@ __all__ = [
     "instrument_generator",
     "instrument_autoscaler",
     "instrument_health",
+    "instrument_frontdoor",
     "instrument_experiment",
     "BREAKER_STATE_CODES",
 ]
@@ -242,6 +243,32 @@ def instrument_health(registry: MetricsRegistry, checker) -> None:
         for kind in sorted(counts):
             events.labels(kind=kind).set_total(counts[kind])
         unhealthy.labels().set(checker.unhealthy_count())
+
+    registry.add_collect_hook(hook)
+
+
+def instrument_frontdoor(registry: MetricsRegistry, frontdoor) -> None:
+    """Mirror the geo front door's routing plane as metrics.
+
+    ``repro_region_requests_total{home, served}`` labels every request
+    with where it was homed vs. where it was served — failover shows up
+    as off-diagonal mass; ``repro_region_healthy{population, region}``
+    gauges the routing table itself; ``repro_region_stale_reads_total``
+    counts failed-over reads beyond the staleness bound; and
+    ``repro_frontdoor_events_total{kind}`` counts ejections and
+    restorations, the steps a cross-region MTTR is read off of."""
+    frontdoor.set_metrics(registry)
+    events = registry.counter(
+        "repro_frontdoor_events_total",
+        "Front-door routing transitions by kind (ejected, restored)",
+        ("kind",))
+
+    def hook(now: float) -> None:
+        counts = {}
+        for event in frontdoor.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        for kind in sorted(counts):
+            events.labels(kind=kind).set_total(counts[kind])
 
     registry.add_collect_hook(hook)
 

@@ -1,0 +1,51 @@
+"""Multi-region deployments: regions, geo routing, replication, chaos.
+
+The region layer composes the existing single-cluster machinery into a
+planet-scale story (the paper's cloud/edge failure-domain hierarchy,
+one level up):
+
+* :class:`RegionTopology` / :class:`RegionSpec` — named regions with an
+  inter-region RTT/loss matrix, user-population shares, and per-region
+  workload-clock offsets;
+* :class:`MultiRegionDeployment` — one full per-region deployment
+  behind a cross-region :class:`~repro.net.fabric.NetworkFabric` whose
+  zones are region names;
+* :class:`FrontDoor` — geo/latency-aware routing with health-probe
+  failover (``sticky`` mode is the ablation baseline);
+* :class:`ReplicationManager` — async bounded-staleness replication;
+  failed-over reads can be stale, and the traces say so;
+* :class:`RegionOutage` / :class:`InterRegionPartition` — region-scale
+  chaos on deterministic fault schedules;
+* :func:`run_region_scenario` / :class:`GlobalScorecard` — the harness
+  and the globally-scoped resilience scorecard (blast radius per
+  region, cross-region MTTR, stale-read counts).
+"""
+
+from .deployment import MultiRegionDeployment
+from .faults import InterRegionPartition, RegionOutage
+from .frontdoor import (FrontDoor, FrontDoorConfig, FrontDoorEvent,
+                        PopulationClient)
+from .harness import (GlobalScorecard, RegionResult, RegionRun,
+                      run_region_scenario)
+from .replication import ReplicationManager
+from .topology import (DEFAULT_INTER_REGION_RTT, RegionSpec,
+                       RegionTopology, two_region_topology)
+
+__all__ = [
+    "RegionSpec",
+    "RegionTopology",
+    "DEFAULT_INTER_REGION_RTT",
+    "two_region_topology",
+    "MultiRegionDeployment",
+    "FrontDoor",
+    "FrontDoorConfig",
+    "FrontDoorEvent",
+    "PopulationClient",
+    "ReplicationManager",
+    "RegionOutage",
+    "InterRegionPartition",
+    "GlobalScorecard",
+    "RegionResult",
+    "RegionRun",
+    "run_region_scenario",
+]

@@ -1,0 +1,121 @@
+"""Region-scale chaos: whole-region outages and long-haul partitions.
+
+Both faults ride the existing :class:`~repro.chaos.schedule.FaultSchedule`
+machinery unchanged — deterministic start/duration windows, the chaos
+log, scorecards.  What changes is the blast radius:
+
+* :class:`RegionOutage` generalizes :class:`~repro.chaos.ZoneOutage`
+  from a placement zone to an entire region's cluster, reusing the
+  :class:`~repro.chaos.CorrelatedCrash` group-crash machinery (and its
+  repair semantics: per-replica speed-factor restore and rate re-bake
+  for replicas provisioned mid-outage).
+* :class:`InterRegionPartition` cuts one long-haul link of the
+  *cross-region* fabric, whose "zones" are region names — front-door
+  legs, health probes, and replication batches all stall on the cut,
+  so a partition shows up as failover on one side and growing
+  replication lag on the other.
+
+Validation vocabulary: both faults report the regions they touch via
+``FaultTargets.regions``; ``repro lint`` (FAULT004) rejects schedules
+that name a region the deployment does not define, or that aim a
+region-scale fault at a deployment that is not region-aware at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..chaos.faults import (ChaosContext, CorrelatedCrash, FaultTargets,
+                            NetworkPartition)
+from ..cluster.machine import Machine
+
+__all__ = ["RegionOutage", "InterRegionPartition"]
+
+
+class RegionOutage(CorrelatedCrash):
+    """Every machine in one region goes down together.
+
+    The region-scale generalization of
+    :class:`~repro.chaos.ZoneOutage`: member machines resolve from the
+    named region's cluster inside a
+    :class:`~repro.region.MultiRegionDeployment`, and injection runs
+    against that region's sub-deployment so repair (speed-factor
+    restore, rate re-bake) sees the right instance registry."""
+
+    kind = "region_outage"
+
+    def __init__(self, region: str, start: float = 0.0,
+                 duration: Optional[float] = None,
+                 cold_cache: bool = True,
+                 cache_cold_ratio: float = 0.0,
+                 cache_warmup: float = 5.0,
+                 name: Optional[str] = None):
+        self.region = region
+        # The member list resolves lazily against the region's cluster.
+        super().__init__(machines=["<region>"], start=start,
+                         duration=duration, cold_cache=cold_cache,
+                         cache_cold_ratio=cache_cold_ratio,
+                         cache_warmup=cache_warmup,
+                         name=name or f"{self.kind}:{region}")
+
+    def _sub_ctx(self, ctx: ChaosContext) -> ChaosContext:
+        """The chaos context of the one region this fault hits."""
+        return ChaosContext(ctx.deployment.region(self.region))
+
+    def _members(self, ctx: ChaosContext) -> List[Machine]:
+        # Called with the region sub-context: the whole cluster is
+        # the member list.
+        return list(ctx.cluster.machines)
+
+    def targets(self, ctx: ChaosContext) -> FaultTargets:
+        known = getattr(ctx.deployment, "region_names", None)
+        if known is None or self.region not in known:
+            # Graceful: report the (dangling) region instead of
+            # raising, so validation can attribute it to FAULT004.
+            return FaultTargets(regions=[self.region])
+        targets = super().targets(self._sub_ctx(ctx))
+        targets.regions = [self.region]
+        return targets
+
+    def _inject(self, ctx: ChaosContext) -> None:
+        super()._inject(self._sub_ctx(ctx))
+
+    def _revert(self, ctx: ChaosContext) -> None:
+        super()._revert(self._sub_ctx(ctx))
+
+
+class InterRegionPartition(NetworkPartition):
+    """One long-haul link between two regions goes dark.
+
+    Cuts the cross-region fabric (whose zones are region names): user
+    traffic routed across it, front-door health probes, and
+    replication batches all queue on the cut and flush at heal.
+    Neither region's cluster is touched — this is the
+    "both-sides-healthy, nobody-can-tell" failure mode."""
+
+    kind = "inter_region_partition"
+
+    def __init__(self, region_a: str, region_b: str,
+                 start: float = 0.0,
+                 duration: Optional[float] = None,
+                 bidirectional: bool = True,
+                 name: Optional[str] = None):
+        if region_a == region_b:
+            raise ValueError("a partition needs two distinct regions")
+        # Stored as zone_a/zone_b: the inherited inject/revert then
+        # partition/heal the cross-region fabric directly.
+        super().__init__(zone_a=region_a, zone_b=region_b, start=start,
+                         duration=duration, bidirectional=bidirectional,
+                         name=name or f"{self.kind}:"
+                                      f"{region_a}|{region_b}")
+
+    @property
+    def region_a(self) -> str:
+        return self.zone_a
+
+    @property
+    def region_b(self) -> str:
+        return self.zone_b
+
+    def targets(self, ctx: ChaosContext) -> FaultTargets:
+        return FaultTargets(regions=sorted({self.zone_a, self.zone_b}))

@@ -1,0 +1,124 @@
+"""Async cross-region replication with bounded-staleness accounting.
+
+Every datastore tier is deployed in every region; writes are applied
+locally and shipped to the other regions in periodic batches over the
+cross-region fabric.  The model tracks, per ordered region pair, the
+sim time *through which* the destination has applied the source's
+writes — ``applied_through``.  Staleness of a read is then simply
+``now - applied_through(src, dst)``:
+
+* healthy links keep staleness near ``interval + one-way RTT``
+  (bounded staleness);
+* an :class:`~repro.region.InterRegionPartition` stalls the in-flight
+  batch on the cut, so staleness grows linearly until heal;
+* a :class:`~repro.region.RegionOutage` takes the *source* down — there
+  is nothing to ship, so every failed-over read against the survivors
+  observes ever-staler data until the region repairs and catches up.
+
+A read is **stale** when its staleness exceeds ``staleness_bound``.
+The front door asks :meth:`ReplicationManager.observe_read` on every
+cross-region (failed-over) request; stale reads are counted per served
+region and surfaced as ``repro.stale*`` span annotations in the OTLP
+export — the user-visible consistency cost of geo failover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .deployment import MultiRegionDeployment
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Periodic batch shipping between every ordered region pair."""
+
+    def __init__(self, deployment: MultiRegionDeployment,
+                 interval: float = 0.25,
+                 staleness_bound: float = 1.0):
+        if interval <= 0:
+            raise ValueError("replication interval must be > 0")
+        if staleness_bound <= 0:
+            raise ValueError("staleness_bound must be > 0")
+        self.deployment = deployment
+        self.env = deployment.env
+        self.interval = interval
+        self.staleness_bound = staleness_bound
+        #: Datastore tiers subject to replication (sorted for
+        #: deterministic iteration everywhere).
+        self.services: List[str] = sorted(
+            deployment.app.datastore_services())
+        names = deployment.region_names
+        self._applied: Dict[Tuple[str, str], float] = {
+            (src, dst): 0.0
+            for src in names for dst in names if src != dst}
+        self.batches_shipped = 0
+        self.batches_skipped = 0
+        self.stale_reads = 0
+        self.stale_reads_by_region: Dict[str, int] = {
+            name: 0 for name in names}
+        self._started = False
+
+    def start(self) -> "ReplicationManager":
+        if self._started:
+            raise RuntimeError("replication already started")
+        self._started = True
+        for src, dst in sorted(self._applied):
+            self.env.process(self._ship(src, dst),
+                             name=f"replicate:{src}->{dst}")
+        return self
+
+    def _source_alive(self, region: str) -> bool:
+        cluster = self.deployment.region(region).cluster
+        return any(not m.down for m in cluster.machines)
+
+    def _ship(self, src: str, dst: str):
+        fabric = self.deployment.fabric
+        while True:
+            yield self.env.timeout(self.interval)
+            if not self._source_alive(src):
+                # A dead region ships nothing: survivors serve ever
+                # staler data until it repairs and catches up.
+                self.batches_skipped += 1
+                continue
+            cut = self.env.now
+            # The batch rides the cross-region fabric: partitions stall
+            # it on the cut, loss pays RTO retransmits.
+            yield from fabric.wire_delay(src, dst)
+            self._applied[(src, dst)] = cut
+            self.batches_shipped += 1
+
+    # -- read-side accounting ---------------------------------------------
+    def applied_through(self, src: str, dst: str) -> float:
+        """Sim time through which ``dst`` has ``src``'s writes."""
+        if src == dst:
+            return self.env.now
+        return self._applied[(src, dst)]
+
+    def staleness(self, service: str, served: str,
+                  home: str) -> float:
+        """Seconds of replication lag one read observes.
+
+        The write source is the service's pinned primary region if it
+        has one, else the requesting user's home region (multi-primary:
+        the user reads their own recent writes)."""
+        src = self.deployment.app.region_of(service) or home
+        if src == served:
+            return 0.0
+        return self.env.now - self._applied[(src, served)]
+
+    def observe_read(self, served: str, home: str
+                     ) -> Optional[float]:
+        """Account one request served in ``served`` for a user homed
+        in ``home``; returns the max datastore staleness if it exceeds
+        the bound (a stale read), else None."""
+        if not self.services:
+            return None
+        worst = max(self.staleness(service, served, home)
+                    for service in self.services)
+        if worst <= self.staleness_bound:
+            return None
+        self.stale_reads += 1
+        self.stale_reads_by_region[served] += 1
+        return worst

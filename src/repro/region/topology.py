@@ -1,0 +1,156 @@
+"""Region topology: named regions and the inter-region RTT/loss matrix.
+
+A *region* is the largest real-world failure domain: its own cluster,
+its own placement zones, its own blast radius.  The topology declares
+the regions, their relative user-population shares and workload-clock
+offsets (timezones), and the one-way latency/loss matrix of the
+long-haul links between them.  :meth:`RegionTopology.build_fabric`
+turns the matrix into a :class:`~repro.net.fabric.NetworkFabric` whose
+"zones" are region names — so the cross-region layer (front-door legs,
+health probes, replication shipping) reuses the exact same link fault
+model the intra-cluster fabric has, including partitions and loss.
+
+The cross-region fabric defaults to ``jitter_cv=0``: long-haul RTTs in
+the model are deterministic unless loss is configured, which keeps a
+healthy multi-region run free of extra RNG draws (the determinism
+contract every export depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..arch.platform import Platform
+from ..net.fabric import LinkFault, NetworkFabric
+from ..sim.engine import Environment
+from ..sim.rng import RandomStreams
+
+__all__ = ["RegionSpec", "RegionTopology", "DEFAULT_INTER_REGION_RTT",
+           "two_region_topology"]
+
+#: Default one-way inter-region propagation latency (seconds) for pairs
+#: the matrix does not configure — a transatlantic-ish 40 ms.
+DEFAULT_INTER_REGION_RTT = 40e-3
+
+
+@dataclass
+class RegionSpec:
+    """One region's cluster size, users, and workload clock."""
+
+    name: str
+    #: Machines in this region's cluster.
+    machines: int = 4
+    #: Fraction of the global user population homed here (normalized
+    #: across the topology by the harness).
+    population_share: float = 1.0
+    #: Last-mile latency from a homed user to this region's front-door
+    #: POP (seconds, one way).  Paid regardless of where the request is
+    #: ultimately served; failover adds inter-region legs on top.
+    client_latency: float = 1e-3
+    #: Seconds the region's workload clock is shifted (its timezone):
+    #: per-region diurnal patterns peak ``time_offset`` later.
+    time_offset: float = 0.0
+    #: Hardware platform; None uses the harness default (XEON).
+    platform: Optional[Platform] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        if self.machines < 1:
+            raise ValueError("region needs at least one machine")
+        if self.population_share < 0:
+            raise ValueError("population_share must be >= 0")
+        if self.client_latency < 0:
+            raise ValueError("client_latency must be >= 0")
+
+
+@dataclass
+class RegionTopology:
+    """The regions plus the long-haul link matrix between them."""
+
+    regions: List[RegionSpec]
+    #: One-way latency per ordered (src, dst) region pair; missing
+    #: pairs take the reverse direction's value, then the default.
+    latency: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: Per-message loss rate per ordered pair (paid as RTO retransmits
+    #: on the cross-region fabric); missing pairs are lossless.
+    loss: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    default_latency: float = DEFAULT_INTER_REGION_RTT
+    #: RTO charged per lost cross-region transmission.
+    loss_rto: float = 0.2
+
+    def __post_init__(self):
+        if not self.regions:
+            raise ValueError("topology needs at least one region")
+        names = [spec.name for spec in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names: {names}")
+        for key in list(self.latency) + list(self.loss):
+            for name in key:
+                if name not in names:
+                    raise ValueError(f"matrix names unknown region "
+                                     f"{name!r}")
+        for rate in self.loss.values():
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("loss rates must be in [0, 1)")
+
+    @property
+    def names(self) -> List[str]:
+        """Region names in declaration order."""
+        return [spec.name for spec in self.regions]
+
+    def spec(self, name: str) -> RegionSpec:
+        for spec in self.regions:
+            if spec.name == name:
+                return spec
+        raise ValueError(f"unknown region {name!r}")
+
+    def latency_between(self, src: str, dst: str) -> float:
+        """One-way latency for an ordered region pair (0 within one)."""
+        if src == dst:
+            return 0.0
+        if (src, dst) in self.latency:
+            return self.latency[(src, dst)]
+        if (dst, src) in self.latency:
+            return self.latency[(dst, src)]
+        return self.default_latency
+
+    def build_fabric(self, env: Environment,
+                     rng: RandomStreams) -> NetworkFabric:
+        """The cross-region fabric: one zone per region.
+
+        Configured loss entries become standing :class:`LinkFault`\\ s
+        (drawing retransmit delays from the shared seeded RNG only for
+        lossy pairs); partitions are injected later by
+        :class:`~repro.region.InterRegionPartition`."""
+        zone_latency = {}
+        for src in self.names:
+            for dst in self.names:
+                zone_latency[(src, dst)] = self.latency_between(src, dst)
+        fabric = NetworkFabric(env, rng=rng, zone_latency=zone_latency,
+                               jitter_cv=0.0, congestion_coeff=0.0)
+        for (src, dst), rate in sorted(self.loss.items()):
+            if rate > 0.0:
+                fabric.link_faults[(src, dst)] = LinkFault(
+                    loss_rate=rate, rto=self.loss_rto)
+        return fabric
+
+
+def two_region_topology(machines: int = 3,
+                        primary: str = "us-east",
+                        secondary: str = "eu-west",
+                        primary_share: float = 0.6,
+                        rtt: float = DEFAULT_INTER_REGION_RTT,
+                        time_offset: float = 0.0) -> RegionTopology:
+    """The canonical two-region layout the examples and CI smoke use."""
+    return RegionTopology(
+        regions=[
+            RegionSpec(name=primary, machines=machines,
+                       population_share=primary_share),
+            RegionSpec(name=secondary, machines=machines,
+                       population_share=1.0 - primary_share,
+                       time_offset=time_offset),
+        ],
+        latency={(primary, secondary): rtt},
+    )

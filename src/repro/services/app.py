@@ -61,6 +61,17 @@ class Application:
     #: Service → placement zone ("cloud"/"edge"); unlisted services run
     #: in the cloud.  Swarm-Edge pins its on-drone services to "edge".
     service_zones: Dict[str, str] = field(default_factory=dict)
+    #: Declared multi-region footprint: the region names this
+    #: application may be deployed across.  Empty means the app is
+    #: region-agnostic (any :class:`~repro.region.RegionTopology`
+    #: works); non-empty names constrain :attr:`service_regions`.
+    regions: List[str] = field(default_factory=list)
+    #: Datastore service → *primary* region.  Every tier is deployed in
+    #: every region; a pinned datastore's writes originate in its
+    #: primary, so reads elsewhere see that region's replication lag.
+    #: Unpinned datastores are multi-primary (lag measured from the
+    #: requesting user's home region).
+    service_regions: Dict[str, str] = field(default_factory=dict)
     #: Free-form metadata mirrored from the paper's Table 1.
     metadata: Dict[str, object] = field(default_factory=dict)
 
@@ -91,10 +102,24 @@ class Application:
         for name in self.service_zones:
             if name not in self.services:
                 raise ValueError(f"zoned service {name!r} undefined")
+        if len(set(self.regions)) != len(self.regions):
+            raise ValueError("duplicate region names in regions")
+        for name, region in self.service_regions.items():
+            if name not in self.services:
+                raise ValueError(
+                    f"region-pinned service {name!r} undefined")
+            if region not in self.regions:
+                raise ValueError(
+                    f"service {name!r} pinned to undeclared region "
+                    f"{region!r}")
 
     def zone_of(self, service: str) -> str:
         """Placement zone for a service (default: cloud)."""
         return self.service_zones.get(service, "cloud")
+
+    def region_of(self, service: str) -> Optional[str]:
+        """Primary region of a pinned service, or None (multi-primary)."""
+        return self.service_regions.get(service)
 
     # -- introspection -----------------------------------------------------
     @property
@@ -161,6 +186,8 @@ class Application:
             entry_service=self.entry_service,
             sharded_services=list(self.sharded_services),
             service_zones=dict(self.service_zones),
+            regions=list(self.regions),
+            service_regions=dict(self.service_regions),
             metadata=dict(self.metadata),
         )
 

@@ -12,7 +12,7 @@ entry tier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["Span", "Trace"]
 
@@ -44,6 +44,11 @@ class Span:
     #: (0 = first attempt succeeded or no retry policy).
     retries: int = 0
     children: List["Span"] = field(default_factory=list)
+    #: Free-form key/value marks added after the fact by layers above
+    #: the runtime (the geo front door tags failed-over requests with
+    #: ``home_region`` / ``served_region`` / ``stale_read``); exported
+    #: as ``repro.<key>`` OTLP attributes.  Empty on the hot path.
+    annotations: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -2,7 +2,8 @@
 
 from .closed_loop import ClosedLoopGenerator
 from .generator import OpenLoopGenerator
-from .patterns import constant, diurnal, ramp, step, trace_replay
+from .patterns import (constant, diurnal, ramp, scaled, shifted, step,
+                       trace_replay)
 from .sessions import SOCIAL_BEHAVIOR, BehaviorGraph, SessionSynthesizer
 from .users import UserPopulation
 
@@ -16,6 +17,8 @@ __all__ = [
     "constant",
     "diurnal",
     "ramp",
+    "scaled",
+    "shifted",
     "step",
     "trace_replay",
 ]

@@ -11,7 +11,8 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Sequence, Tuple
 
-__all__ = ["constant", "diurnal", "step", "ramp", "trace_replay"]
+__all__ = ["constant", "diurnal", "step", "ramp", "trace_replay",
+           "shifted", "scaled"]
 
 RateFn = Callable[[float], float]
 
@@ -65,6 +66,24 @@ def ramp(qps_start: float, qps_end: float, duration: float) -> RateFn:
         return qps_start + (qps_end - qps_start) * (t / duration)
 
     return rate
+
+
+def shifted(pattern: RateFn, offset: float) -> RateFn:
+    """A pattern displaced ``offset`` seconds later in time.
+
+    Multi-region workloads shift one diurnal curve per region by its
+    timezone (``RegionSpec.time_offset``): each population peaks when
+    *its* day does, so global load is flatter than any single region's."""
+    if offset == 0:
+        return pattern
+    return lambda t: pattern(t - offset)
+
+
+def scaled(pattern: RateFn, factor: float) -> RateFn:
+    """A pattern multiplied by a constant factor (population shares)."""
+    if factor <= 0:
+        raise ValueError("factor must be > 0")
+    return lambda t: pattern(t) * factor
 
 
 def trace_replay(points: Sequence[Tuple[float, float]]) -> RateFn:
