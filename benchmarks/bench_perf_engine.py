@@ -1,0 +1,92 @@
+"""Perf-trajectory harness: how fast does the DES engine actually run?
+
+The suite now carries metrics scraping, tracing, resilience hooks, and
+predictors on every RPC; nobody had measured what that costs.  This
+benchmark runs one *fixed* social_network scenario (fixed qps,
+duration, machines, seed — so the simulated event count is
+deterministic) and emits a machine-readable
+``benchmarks/results/BENCH_perf_engine.json`` with the engine-speed
+numbers every future PR has to beat:
+
+* ``events_per_wall_sec`` — scheduled simulation events per wall
+  second (the engine's core throughput);
+* ``wall_sec_per_sim_sec`` — how much real time one simulated second
+  costs at this load;
+* ``requests_per_wall_sec`` — end-to-end requests simulated per wall
+  second (the user-visible number for capacity planning of sweeps);
+* ``peak_rss_kb`` — peak resident set, so memory regressions show up
+  alongside speed ones.
+
+Wall-clock reads are the *measurement* here, not simulation state, so
+the SIM002 suppressions below are deliberate; the simulated side stays
+fully deterministic (the event count is asserted stable).
+"""
+
+import json
+import resource
+import time
+
+from helpers import RESULTS_DIR, report, run_once
+
+from repro.apps.registry import build_app
+from repro.core.experiment import simulate
+from repro.core.provisioning import balanced_provision
+
+#: The fixed scenario.  Moderate load on the full 36-service graph:
+#: large enough that per-event overheads dominate setup, small enough
+#: to keep the tier-1 suite fast.
+SCENARIO = {
+    "app": "social_network",
+    "qps": 80.0,
+    "duration": 20.0,
+    "machines": 6,
+    "seed": 11,
+}
+
+
+def run_fixed_scenario():
+    """One deterministic run; returns (result, wall_seconds)."""
+    app = build_app(SCENARIO["app"])
+    replicas = balanced_provision(
+        app, target_qps=max(SCENARIO["qps"] * 1.5, 50))
+    start = time.perf_counter()  # simlint: disable=SIM002
+    result = simulate(app, qps=SCENARIO["qps"],
+                      duration=SCENARIO["duration"],
+                      n_machines=SCENARIO["machines"],
+                      replicas=replicas, seed=SCENARIO["seed"])
+    wall = time.perf_counter() - start  # simlint: disable=SIM002
+    return result, wall
+
+
+def test_perf_engine(benchmark):
+    result, wall = run_once(benchmark, run_fixed_scenario)
+    env = result.deployment.env
+    events = env.events_scheduled
+    issued = result.generator.issued
+
+    assert events > 0 and issued > 0
+    assert result.completion_ratio() > 0.95, \
+        "the fixed scenario must not saturate — it measures the " \
+        "engine, not queueing"
+
+    payload = {
+        "scenario": SCENARIO,
+        "events_scheduled": events,
+        "requests_issued": issued,
+        "wall_sec": round(wall, 3),
+        "events_per_wall_sec": round(events / wall, 1),
+        "requests_per_wall_sec": round(issued / wall, 1),
+        "wall_sec_per_sim_sec": round(wall / SCENARIO["duration"], 4),
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_perf_engine.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [f"{key}: {payload[key]}" for key in sorted(payload)
+             if key != "scenario"]
+    report("BENCH_perf_engine",
+           "fixed scenario: "
+           + json.dumps(SCENARIO, sort_keys=True) + "\n"
+           + "\n".join(lines))

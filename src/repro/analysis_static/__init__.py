@@ -1,28 +1,50 @@
-"""Simulation-safety static analysis (``simlint``) and topology validation.
+"""Simulation-safety static analysis (``simlint``), topology
+validation, and whole-application flow analysis.
 
 A discrete-event simulation is only as trustworthy as its determinism:
 every figure this repo reproduces assumes that the same seed yields the
 same event sequence, and that every service graph fed to the deployment
 layer is structurally sound.  This package enforces both *before* a
-single event is simulated:
+single event is simulated — and goes one layer further, rejecting
+deployment configurations that are doomed before the first event:
 
 * :mod:`repro.analysis_static.simlint` — an AST-based checker over the
   source tree that flags determinism and sim-time hazards (rule codes
-  ``SIM001``-``SIM005``; per-line ``# simlint: disable=SIM00x``
-  suppressions).
+  ``SIM001``-``SIM005``; per-line ``# simlint: disable=SIM001``
+  suppressions, with typo'd suppressions reported as ``SIM006``).
 * :mod:`repro.analysis_static.topology` — a static validator over
-  application service graphs (rule codes ``TOPO001``-``TOPO005``):
+  application service graphs (rule codes ``TOPO001``-``TOPO006``):
   call-graph cycles, dangling references, unreachable services,
-  non-positive capacities/rates, and retry policies whose worst-case
-  amplification exceeds their retry budget.
+  non-positive capacities/rates, retry policies whose worst-case
+  amplification exceeds their retry budget, and undeclared region pins.
+* :mod:`repro.analysis_static.flow` — the capacity and deadline flow
+  analyzer (``CAP001``-``CAP004``, ``DLINE001``-``DLINE004``): given a
+  declared load and deployment plan it reuses the analytic queueing
+  backend (:mod:`repro.analytic`) to catch saturated tiers, retry
+  amplification past capacity, worker pools below the Little's-law
+  concurrency, and deadlines no zero-queueing execution could meet.
+* :mod:`repro.analysis_static.policycheck` — cross-layer policy
+  consistency (``CFG001``-``CFG004``): breakers that can never trip,
+  no-op shedders, unsatisfiable staleness bounds, and front-door
+  detection slower than the declared MTTR gate.
 
-Run it as ``python -m repro.analysis_static [paths]`` or via the main
-CLI as ``repro lint``; the app registry also runs the topology
-validator at construction time so a malformed graph fails fast with a
-readable report instead of a runtime ``KeyError`` deep in the
-deployment layer.
+Run it as ``python -m repro.analysis_static [paths]`` (or ``--app NAME
+--load RPS`` for flow analysis) or via the main CLI as ``repro lint``;
+the app registry also runs the topology validator at construction time
+so a malformed graph fails fast with a readable report instead of a
+runtime ``KeyError`` deep in the deployment layer.
 """
 
+from .flow import (
+    DeploymentPlan,
+    InfeasiblePlanError,
+    analyze_flow,
+    assert_feasible,
+    check_capacity,
+    check_deadlines,
+    load_plan,
+)
+from .policycheck import check_policies
 from .rules import ALL_RULES, Finding, Severity
 from .simlint import lint_file, lint_paths, lint_source
 from .topology import (
@@ -34,13 +56,21 @@ from .topology import (
 
 __all__ = [
     "ALL_RULES",
+    "DeploymentPlan",
     "Finding",
+    "InfeasiblePlanError",
     "Severity",
     "TopologyError",
+    "analyze_flow",
+    "assert_feasible",
+    "check_capacity",
+    "check_deadlines",
+    "check_policies",
     "check_registry",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_plan",
     "validate_app",
     "validate_topology",
 ]

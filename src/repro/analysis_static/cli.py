@@ -2,9 +2,13 @@
 
 With no arguments it lints the installed ``repro`` package and
 validates every registered application graph.  Pass explicit paths to
-lint a subtree or fixture instead.  Exit status is 0 when no
-error-severity findings exist, 1 otherwise — which is what the CI
-``lint`` job keys off.
+lint a subtree or fixture instead.  With ``--app NAME --load RPS`` it
+switches to *flow analysis*: the named application's topology is
+validated and its deployment plan (``--config plan.json``, or the
+``repro simulate`` defaults) is checked for capacity (CAP), deadline
+(DLINE), and policy-consistency (CFG) violations at the declared load.
+Exit status is 0 when no error-severity findings exist, 1 otherwise —
+which is what the CI ``lint`` job keys off.
 """
 
 from __future__ import annotations
@@ -13,7 +17,13 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from .report import exit_code, explain_rules, format_json, format_text
+from .report import (
+    exit_code,
+    explain_rules,
+    format_json,
+    format_sarif,
+    format_text,
+)
 from .rules import ALL_RULES, Finding
 from .simlint import _iter_python_files, lint_paths
 
@@ -24,12 +34,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis_static",
         description="simulation-safety static analysis "
-                    "(simlint + topology validation)")
+                    "(simlint + topology validation + capacity/"
+                    "deadline/policy flow analysis)")
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: the repro package)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)")
     parser.add_argument(
         "--select", metavar="CODES", default=None,
@@ -49,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
              "scenarios and the canonical region schedule "
              "(FAULT001-FAULT004)")
     parser.add_argument(
+        "--app", metavar="NAME", default=None,
+        help="flow-analysis mode: check one registered application's "
+             "deployment plan (CAP/DLINE/CFG rules) instead of "
+             "linting files")
+    parser.add_argument(
+        "--load", type=float, default=None, metavar="RPS",
+        help="declared offered load for --app (requests/second)")
+    parser.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="JSON deployment plan for --app (replicas, cores, mix, "
+             "policies, ...); default: the repro simulate conventions")
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the rule table and exit")
     return parser
@@ -66,6 +89,23 @@ def _parse_codes(raw: Optional[str],
     return codes
 
 
+def _flow_findings(parser: argparse.ArgumentParser,
+                   args) -> List[Finding]:
+    """Findings for ``--app`` mode: topology + CAP/DLINE/CFG."""
+    from ..apps.registry import app_names, build_app
+    if args.app not in app_names():
+        parser.error(f"unknown application {args.app!r} "
+                     f"(choose from: {', '.join(app_names())})")
+    from .flow import DeploymentPlan, analyze_flow, load_plan
+    from .topology import validate_app
+    app = build_app(args.app)
+    if args.config:
+        plan = load_plan(args.config, load=args.load)
+    else:
+        plan = DeploymentPlan(load=args.load)
+    return validate_app(app) + analyze_flow(app, plan)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -76,6 +116,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--apps-only and --no-apps are mutually exclusive")
     if args.apps_only and args.paths:
         parser.error("--apps-only takes no paths")
+    if args.app is None:
+        for flag in ("load", "config"):
+            if getattr(args, flag) is not None:
+                parser.error(f"--{flag} requires --app")
+    else:
+        if args.load is None:
+            parser.error("--app requires --load (the declared "
+                         "offered load in rps)")
+        if args.paths or args.apps_only or args.no_apps:
+            parser.error("--app is a flow-analysis mode: it takes no "
+                         "paths and ignores --apps-only/--no-apps")
 
     select = _parse_codes(args.select, parser)
     ignore = _parse_codes(args.ignore, parser)
@@ -84,32 +135,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     files_checked = 0
     apps_checked = 0
 
-    if not args.apps_only:
-        paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    if args.app is not None:
         try:
-            files_checked = len(_iter_python_files(paths))
-            findings.extend(lint_paths(paths))
-        except (FileNotFoundError, ValueError) as exc:
+            findings = _flow_findings(parser, args)
+        except (OSError, ValueError) as exc:
             print(f"simlint: {exc}")
             return 2
+        apps_checked = 1
+    else:
+        if not args.apps_only:
+            paths = args.paths or [
+                str(Path(__file__).resolve().parents[1])]
+            try:
+                files_checked = len(_iter_python_files(paths))
+                findings.extend(lint_paths(paths))
+            except (FileNotFoundError, ValueError) as exc:
+                print(f"simlint: {exc}")
+                return 2
 
-    if not args.no_apps:
-        # Lazy import: validating apps builds them, which pulls in the
-        # whole services layer; plain file linting should not.
-        from .topology import check_registry
-        per_app = check_registry()
-        apps_checked = len(per_app)
-        for app_findings in per_app.values():
-            findings.extend(app_findings)
+        if not args.no_apps:
+            # Lazy import: validating apps builds them, which pulls in
+            # the whole services layer; plain file linting should not.
+            from .topology import check_registry
+            per_app = check_registry()
+            apps_checked = len(per_app)
+            for app_findings in per_app.values():
+                findings.extend(app_findings)
 
-    if not args.no_apps and not args.no_chaos and not args.apps_only:
-        # Registered chaos scenarios must build valid fault schedules
-        # against a canonical deployment (FAULT001-FAULT003).
-        from .faultcheck import check_region_schedule, check_scenarios
-        chaos_findings, _ = check_scenarios()
-        findings.extend(chaos_findings)
-        region_findings, _ = check_region_schedule()
-        findings.extend(region_findings)
+        if not args.no_apps and not args.no_chaos and not args.apps_only:
+            # Registered chaos scenarios must build valid fault
+            # schedules against a canonical deployment
+            # (FAULT001-FAULT003).
+            from .faultcheck import check_region_schedule, check_scenarios
+            chaos_findings, _ = check_scenarios()
+            findings.extend(chaos_findings)
+            region_findings, _ = check_region_schedule()
+            findings.extend(region_findings)
 
     if select is not None:
         findings = [f for f in findings if f.code in select]
@@ -118,6 +179,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(format_json(findings, files_checked, apps_checked))
+    elif args.format == "sarif":
+        print(format_sarif(findings, files_checked, apps_checked))
     else:
         print(format_text(findings, files_checked, apps_checked))
     return exit_code(findings)

@@ -1,0 +1,537 @@
+"""Whole-application capacity & deadline flow analysis (CAP/DLINE).
+
+``repro lint --app NAME --load RPS [--config plan.json]`` walks an
+application's call trees together with a declared deployment plan and
+flags configurations that are *doomed before the first simulated
+event*.  Most "bugs" in a microservice suite are exactly that (the
+paper's Figs. 17/19 cascades all start from one under-provisioned or
+deadline-infeasible tier), and a scenario generator multiplies configs
+by 100x — so catching them statically, in milliseconds instead of
+sim-minutes, is the force multiplier.
+
+The capacity family (CAP) reuses the analytic queueing backend
+(:mod:`repro.analytic`: ``compute_demands`` + ``analyze_station`` /
+Erlang-C) rather than re-deriving utilization — the same model the
+test suite cross-validates against the simulator:
+
+``CAP001``
+    A tier's utilization is >= 1 at the declared load: the queue grows
+    without bound, guaranteed.
+``CAP002``
+    Utilization above the tail blow-up threshold (default 85%): the
+    M/G/c wait scales like ``1/(1-rho)``, so the p99 is about to
+    explode (warning).
+``CAP003``
+    Worst-case *retry-amplified* load saturates a tier that is stable
+    without retries: each call edge multiplies sustained arrivals by
+    ``1 + min(max_retries, retry_budget_ratio)`` (or ``1 +
+    max_retries`` unbudgeted).
+``CAP004``
+    A finite worker pool (``max_workers x replicas``) below the
+    Little's-law concurrency ``arrival x hold time``, where the hold
+    time floor is the zero-queueing residence of a request *including
+    its downstream subtree* — a worker is held across downstream calls,
+    which is the Fig. 17 HTTP/1 backpressure trap.
+
+The deadline family (DLINE) propagates the entry policy's end-to-end
+deadline down the call tree using a best-case elapsed-time floor (zero
+queueing, zero network variance).  Because the floor underestimates
+real latency, every DLINE verdict is sound: if the floor already blows
+the deadline, the simulation certainly will.
+
+``DLINE001``
+    The critical-path minimum service + wire time exceeds the
+    end-to-end deadline: every request is dead on arrival.
+``DLINE002``
+    A child RPC timeout >= the residual deadline at the instant the
+    RPC is issued: the propagated deadline always expires first, so
+    the timeout (and every retry behind it) can never fire.
+``DLINE003``
+    The full retry schedule (``(1 + max_retries) x rpc_timeout`` plus
+    minimum backoffs) cannot fit inside the residual deadline: the
+    later retries are dead on arrival (warning).
+``DLINE004``
+    The client hedge delay is >= the request's completion bound
+    (deadline or full timeout schedule): the hedge can never launch
+    (warning).
+
+Cross-layer policy consistency (``CFG00x``) lives in
+:mod:`.policycheck`; :func:`analyze_flow` runs all three families.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from .rules import Finding, Severity
+from .topology import TopologyError
+
+__all__ = [
+    "DeploymentPlan",
+    "InfeasiblePlanError",
+    "TAIL_BLOWUP_UTILIZATION",
+    "analyze_flow",
+    "assert_feasible",
+    "build_model",
+    "check_capacity",
+    "check_deadlines",
+    "load_plan",
+]
+
+#: Utilization above which M/G/c waiting enters the ``1/(1-rho)``
+#: blow-up regime — the CAP002 warning threshold.
+TAIL_BLOWUP_UTILIZATION = 0.85
+
+#: Slack for >=-comparisons between derived float quantities.
+_EPS = 1e-9
+
+
+class InfeasiblePlanError(TopologyError):
+    """Raised by :func:`assert_feasible` when a deployment plan has
+    error-severity CAP/DLINE/CFG findings.  Subclasses
+    :class:`~repro.analysis_static.topology.TopologyError` so callers
+    that already gate on static validation catch both."""
+
+
+def _policy_fields(cls) -> set:
+    import dataclasses
+    return {f.name for f in dataclasses.fields(cls)}
+
+
+def _parse_policy(spec: Mapping[str, object]):
+    """A ``ResiliencePolicy`` from a plain config mapping (with an
+    optional nested ``breaker`` mapping)."""
+    from ..resilience.breaker import BreakerConfig
+    from ..resilience.policy import ResiliencePolicy
+    data = dict(spec)
+    breaker = data.pop("breaker", None)
+    unknown = set(data) - _policy_fields(ResiliencePolicy)
+    if unknown:
+        raise ValueError(
+            f"unknown policy field(s): {', '.join(sorted(unknown))}")
+    if breaker is not None:
+        bad = set(breaker) - _policy_fields(BreakerConfig)
+        if bad:
+            raise ValueError(
+                f"unknown breaker field(s): {', '.join(sorted(bad))}")
+        breaker = BreakerConfig(**breaker)
+    return ResiliencePolicy(breaker=breaker, **data)
+
+
+@dataclass
+class DeploymentPlan:
+    """One deployment configuration as the flow analyzer sees it.
+
+    Mirrors what :func:`repro.core.experiment.simulate` would be given
+    — same replica/core/policy/mix vocabulary — so a lint verdict on a
+    plan is a verdict on the corresponding simulation.  ``replicas=
+    None`` resolves to the ``repro simulate`` CLI's own convention
+    (``balanced_provision`` at ``max(1.5 x load, 50)`` qps), making
+    the bare ``repro lint --app NAME --load RPS`` judge the default
+    deployment.
+    """
+
+    #: Offered end-to-end load (requests/second) the plan declares.
+    load: float
+    #: Per-service replica counts; ``None`` = balanced provisioning.
+    replicas: Optional[Mapping[str, int]] = None
+    #: Cores per replica (int for all tiers, or per-service mapping).
+    cores: Union[int, Mapping[str, int]] = 2
+    #: Operation-mix override (operation -> weight); ``None`` = the
+    #: application's default mix.
+    mix: Optional[Mapping[str, float]] = None
+    #: Per-callee-service resilience policies.
+    policies: Dict[str, object] = field(default_factory=dict)
+    #: Policy for services without an explicit entry.
+    default_policy: Optional[object] = None
+    #: Front-tier load-shedder concurrency cap (CFG002); ``None`` = no
+    #: shedder declared.
+    shed_concurrency: Optional[int] = None
+    #: Client hedge delay in seconds (DLINE004); ``None`` = no hedging.
+    hedge_after: Optional[float] = None
+    #: CAP002 warning threshold.
+    util_warn: float = TAIL_BLOWUP_UTILIZATION
+    #: One-way per-hop wire latency (matches the analytic model).
+    wire_latency: float = 25e-6
+    #: One-way client-to-front-door latency.
+    client_latency: float = 100e-6
+    #: Cross-region replication batch interval (CFG003).
+    replication_interval: Optional[float] = None
+    #: Declared staleness bound on failed-over reads (CFG003).
+    staleness_bound: Optional[float] = None
+    #: One-way inter-region latency override; ``None`` uses the
+    #: region layer's default for multi-region apps.
+    inter_region_latency: Optional[float] = None
+    #: Front-door health probing (CFG004); defaults mirror
+    #: :class:`repro.region.frontdoor.FrontDoorConfig`.
+    probe_interval: float = 0.5
+    probe_timeout: float = 1.0
+    unhealthy_threshold: int = 2
+    #: Scenario's declared MTTR gate in seconds (CFG004); ``None`` =
+    #: no gate declared.
+    mttr_gate: Optional[float] = None
+
+    def __post_init__(self):
+        if self.load <= 0:
+            raise ValueError("load must be > 0")
+        if not 0.0 < self.util_warn <= 1.0:
+            raise ValueError("util_warn must be in (0, 1]")
+        if self.shed_concurrency is not None and self.shed_concurrency < 1:
+            raise ValueError("shed_concurrency must be >= 1")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be > 0")
+        for name in ("wire_latency", "client_latency", "probe_interval",
+                     "probe_timeout"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.unhealthy_threshold < 1:
+            raise ValueError("unhealthy_threshold must be >= 1")
+        for name in ("replication_interval", "staleness_bound",
+                     "inter_region_latency", "mttr_gate"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DeploymentPlan":
+        """A plan from a plain (JSON-shaped) mapping.
+
+        ``policies`` maps service names to policy mappings; the key
+        ``"default"`` becomes :attr:`default_policy`.  Unknown keys are
+        an error — a typo must not silently weaken the analysis.
+        """
+        import dataclasses
+        data = dict(data)
+        raw_policies = data.pop("policies", {}) or {}
+        allowed = {f.name for f in dataclasses.fields(cls)} - {
+            "policies", "default_policy"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown plan field(s): {', '.join(sorted(unknown))}")
+        policies: Dict[str, object] = {}
+        default_policy = None
+        for service, spec in raw_policies.items():
+            policy = _parse_policy(spec)
+            if service == "default":
+                default_policy = policy
+            else:
+                policies[service] = policy
+        return cls(policies=policies, default_policy=default_policy,
+                   **data)
+
+    # -- resolution --------------------------------------------------------
+    def policy_for(self, service: str):
+        """The resilience policy callers of ``service`` use."""
+        return self.policies.get(service, self.default_policy)
+
+    def resolved_replicas(self, app) -> Dict[str, int]:
+        """Explicit replicas, or the ``repro simulate`` convention."""
+        if self.replicas is not None:
+            return dict(self.replicas)
+        from ..core.provisioning import balanced_provision
+        return balanced_provision(app,
+                                  target_qps=max(self.load * 1.5, 50.0))
+
+    def validate_against(self, app) -> None:
+        """Reject plan keys that name nothing in the application."""
+        for label, keys in (
+                ("replicas", self.replicas or {}),
+                ("cores", self.cores
+                 if isinstance(self.cores, Mapping) else {}),
+                ("policies", self.policies)):
+            unknown = set(keys) - set(app.services)
+            if unknown:
+                raise ValueError(
+                    f"plan {label} name unknown service(s): "
+                    f"{', '.join(sorted(unknown))}")
+        if self.mix is not None:
+            unknown = set(self.mix) - set(app.operations)
+            if unknown:
+                raise ValueError(
+                    f"plan mix names unknown operation(s): "
+                    f"{', '.join(sorted(unknown))}")
+
+
+def load_plan(path: str, load: Optional[float] = None) -> DeploymentPlan:
+    """A :class:`DeploymentPlan` from a JSON file; ``load`` (the CLI's
+    ``--load``) overrides any load declared in the file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: plan must be a JSON object")
+    if load is not None:
+        data["load"] = load
+    return DeploymentPlan.from_dict(data)
+
+
+def build_model(app, plan: DeploymentPlan):
+    """The analytic queueing model of ``app`` under ``plan`` — the
+    shared backend every CAP/DLINE check reads from."""
+    from ..analytic.model import AnalyticModel
+    return AnalyticModel(app, replicas=plan.resolved_replicas(app),
+                         cores=plan.cores, mix=plan.mix,
+                         wire_latency=plan.wire_latency,
+                         client_latency=plan.client_latency)
+
+
+# -- call-tree floors ------------------------------------------------------
+
+def _subtree_floor(model, node) -> float:
+    """Zero-queueing residence of one visit to ``node`` including its
+    downstream subtree (own compute + sequential groups of parallel
+    children, each child paying its two wire legs).  Underestimates the
+    simulated residence, so comparisons against it are sound."""
+    total = model.zero_load_time(node.service, node.work_scale)
+    for group in node.groups:
+        total += max(2.0 * model.wire_latency
+                     + _subtree_floor(model, child)
+                     for child in group)
+    return total
+
+
+def _tree_stats(app, model, plan: DeploymentPlan):
+    """One weighted walk over the mix's call trees.
+
+    Returns ``(amplified_visits, hold_floor)``: per-service sustained
+    retry-amplified visits per end-to-end request (CAP003) and the
+    mix-weighted total zero-queueing hold time per request (CAP004).
+    Amplification starts at 1 at each operation root — the root call
+    comes from the external client, whose retries are not modeled —
+    matching the TOPO005 convention.
+    """
+    amplified: Dict[str, float] = {name: 0.0 for name in app.services}
+    hold: Dict[str, float] = {name: 0.0 for name in app.services}
+
+    def walk(node, weight: float, multiplier: float) -> None:
+        amplified[node.service] += weight * multiplier
+        hold[node.service] += weight * _subtree_floor(model, node)
+        for group in node.groups:
+            for child in group:
+                policy = plan.policy_for(child.service)
+                attempts = policy.sustained_attempts() \
+                    if policy is not None else 1.0
+                walk(child, weight, multiplier * attempts)
+
+    for op_name, probability in model.mix.items():
+        if probability <= 0:
+            continue
+        walk(app.operations[op_name].root, probability, 1.0)
+    return amplified, hold
+
+
+# -- CAP: capacity ---------------------------------------------------------
+
+def check_capacity(app, plan: DeploymentPlan,
+                   model=None) -> List[Finding]:
+    """CAP001-CAP004 against the analytic stations at ``plan.load``."""
+    if model is None:
+        model = build_model(app, plan)
+    findings: List[Finding] = []
+    stations = model.stations(plan.load)
+    amplified, hold = _tree_stats(app, model, plan)
+
+    for service in sorted(model.demands):
+        demand = model.demands[service]
+        if demand.visits <= 0:
+            continue
+        station = stations[service]
+        servers = model.replicas_of(service) * model.cores_of(service)
+        arrival = plan.load * demand.visits
+        service_time = model.service_time(service)
+        rho = station.utilization
+        if rho >= 1.0 - _EPS:
+            findings.append(Finding(
+                code="CAP001",
+                message=f"service {service!r}: utilization "
+                        f"{rho:.2f} at {plan.load:g} rps "
+                        f"({arrival:.1f} visits/s x "
+                        f"{service_time * 1e6:.0f} us demand on "
+                        f"{servers} cores)",
+                path=app.name))
+        elif rho >= plan.util_warn:
+            findings.append(Finding(
+                code="CAP002",
+                message=f"service {service!r}: utilization {rho:.2f} "
+                        f"at {plan.load:g} rps exceeds the "
+                        f"{plan.util_warn:.0%} tail blow-up threshold",
+                path=app.name, severity=Severity.WARNING))
+        else:
+            # CAP003 only matters for tiers the base load leaves
+            # stable — a saturated tier is already CAP001.
+            amp_visits = amplified[service]
+            if amp_visits > demand.visits + _EPS:
+                amp_rho = (plan.load * amp_visits * service_time
+                           / servers)
+                if amp_rho >= 1.0 - _EPS:
+                    factor = amp_visits / demand.visits
+                    findings.append(Finding(
+                        code="CAP003",
+                        message=f"service {service!r}: sustained "
+                                f"retry amplification x{factor:.2f} "
+                                f"lifts utilization from {rho:.2f} to "
+                                f"{amp_rho:.2f} at {plan.load:g} rps",
+                        path=app.name))
+
+        limit = app.services[service].concurrency_limit(
+            model.replicas_of(service))
+        if limit is not None:
+            # Mix-weighted mean hold per visit: a worker is occupied
+            # for the request's whole downstream subtree.
+            hold_per_visit = hold[service] / demand.visits
+            concurrency = arrival * hold_per_visit
+            if concurrency > limit + _EPS:
+                findings.append(Finding(
+                    code="CAP004",
+                    message=f"service {service!r}: worker pool "
+                            f"{limit:g} (max_workers x replicas) is "
+                            f"below the Little's-law concurrency "
+                            f"{concurrency:.1f} = {arrival:.1f}/s x "
+                            f"{hold_per_visit * 1e3:.2f} ms zero-queue "
+                            f"hold time at {plan.load:g} rps",
+                    path=app.name))
+    return findings
+
+
+# -- DLINE: deadline propagation -------------------------------------------
+
+def check_deadlines(app, plan: DeploymentPlan,
+                    model=None) -> List[Finding]:
+    """DLINE001-DLINE004 by propagating each entry deadline down the
+    call trees against the zero-queueing elapsed-time floor."""
+    if model is None:
+        model = build_model(app, plan)
+    findings: List[Finding] = []
+    reported: set = set()
+
+    def once(key, finding: Finding) -> None:
+        if key not in reported:
+            reported.add(key)
+            findings.append(finding)
+
+    for op_name in sorted(model.mix):
+        if model.mix[op_name] <= 0:
+            continue
+        root = app.operations[op_name].root
+        entry_policy = plan.policy_for(root.service)
+        deadline = getattr(entry_policy, "deadline", None)
+        if deadline is None:
+            continue
+
+        floor = 2.0 * plan.client_latency + _subtree_floor(model, root)
+        if floor > deadline + _EPS:
+            findings.append(Finding(
+                code="DLINE001",
+                message=f"operation {op_name!r}: best-case end-to-end "
+                        f"time {floor * 1e3:.2f} ms (zero queueing) "
+                        f"exceeds the {deadline * 1e3:.2f} ms deadline",
+                path=app.name))
+
+        # DLINE004: the hedge duplicates the whole request; it can only
+        # launch while the primary is still in flight, and the primary
+        # is certainly gone once the deadline (or the entry RPC's full
+        # timeout schedule) expires.
+        if plan.hedge_after is not None:
+            bound = deadline
+            schedule = entry_policy.min_schedule_time() \
+                if hasattr(entry_policy, "min_schedule_time") else None
+            if schedule is not None:
+                bound = min(bound, schedule)
+            if plan.hedge_after >= bound - _EPS:
+                once(("DLINE004",), Finding(
+                    code="DLINE004",
+                    message=f"hedge delay {plan.hedge_after * 1e3:.1f}"
+                            f" ms >= the {bound * 1e3:.2f} ms "
+                            f"completion bound: the hedge can never "
+                            f"launch",
+                    path=app.name, severity=Severity.WARNING))
+
+        # Timeout-vs-residual checks only make sense when the deadline
+        # actually travels with the request: without propagation a
+        # downstream timeout outlives the entry deadline but still
+        # fires.
+        if not getattr(entry_policy, "propagate_deadline", True):
+            continue
+
+        def check_edge(parent_service: str, child_service: str,
+                       residual: float, op: str) -> None:
+            if residual <= _EPS:
+                return  # already blown at issue: DLINE001 territory
+            policy = plan.policy_for(child_service)
+            timeout = getattr(policy, "rpc_timeout", None)
+            if timeout is None:
+                return
+            edge = f"{parent_service} -> {child_service}"
+            if timeout >= residual - _EPS:
+                once(("DLINE002", parent_service, child_service),
+                     Finding(
+                         code="DLINE002",
+                         message=f"operation {op!r}: rpc_timeout "
+                                 f"{timeout * 1e3:.1f} ms on {edge} "
+                                 f">= the {residual * 1e3:.2f} ms "
+                                 f"residual deadline at issue: the "
+                                 f"deadline always expires first",
+                         path=app.name))
+            else:
+                retries = getattr(policy, "max_retries", 0)
+                schedule = policy.min_schedule_time()
+                if retries > 0 and schedule is not None \
+                        and schedule > residual + _EPS:
+                    once(("DLINE003", parent_service, child_service),
+                         Finding(
+                             code="DLINE003",
+                             message=f"operation {op!r}: full retry "
+                                     f"schedule {schedule * 1e3:.1f} "
+                                     f"ms on {edge} ({1 + retries} "
+                                     f"attempts) exceeds the "
+                                     f"{residual * 1e3:.2f} ms "
+                                     f"residual deadline",
+                             path=app.name,
+                             severity=Severity.WARNING))
+
+        def descend(node, start_elapsed: float) -> None:
+            # start_elapsed: best-case elapsed time when the node's
+            # server begins its pre-work.
+            elapsed = start_elapsed + node.pre_fraction \
+                * model.zero_load_time(node.service, node.work_scale)
+            for group in node.groups:
+                for child in group:
+                    check_edge(node.service, child.service,
+                               deadline - elapsed, op_name)
+                    descend(child, elapsed + model.wire_latency)
+                elapsed += max(2.0 * model.wire_latency
+                               + _subtree_floor(model, child)
+                               for child in group)
+
+        # The entry RPC: issued by the client at time ~0, so its
+        # residual is the whole deadline.
+        check_edge("client", root.service, deadline, op_name)
+        descend(root, plan.client_latency)
+
+    return findings
+
+
+# -- entry points ----------------------------------------------------------
+
+def analyze_flow(app, plan: DeploymentPlan) -> List[Finding]:
+    """All flow families — CAP, DLINE, and CFG — for one plan."""
+    plan.validate_against(app)
+    model = build_model(app, plan)
+    findings = check_capacity(app, plan, model)
+    findings += check_deadlines(app, plan, model)
+    from .policycheck import check_policies
+    findings += check_policies(app, plan)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def assert_feasible(app, plan: DeploymentPlan) -> List[Finding]:
+    """Run :func:`analyze_flow`; raise :class:`InfeasiblePlanError` on
+    any error-severity finding, else return the (warning) findings —
+    the registration-time gate for generated scenarios."""
+    findings = analyze_flow(app, plan)
+    if any(f.severity == Severity.ERROR for f in findings):
+        raise InfeasiblePlanError(app.name, findings)
+    return findings

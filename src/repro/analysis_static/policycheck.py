@@ -1,0 +1,126 @@
+"""Cross-layer policy consistency checks (CFG rule family).
+
+Each check catches a configuration whose layers are *individually*
+valid but jointly inert or unsatisfiable — the class of bug no
+single-layer validator can see:
+
+``CFG001``
+    A circuit breaker whose ``min_volume`` exceeds its rolling
+    ``window``: the failure-rate gate is evaluated over a sample that
+    can never reach quorum, so the breaker can never trip (warning —
+    the system still runs, just unprotected).
+``CFG002``
+    A load shedder admitting more concurrency than the declared load
+    can ever queue up.  By Little's law in-flight requests are bounded
+    by ``arrival rate x residence bound`` (the end-to-end deadline
+    when one is set, else the QoS target); a cap at or above that
+    bound either never engages or engages only after the latency
+    target is already blown (warning).
+``CFG003``
+    A cross-region staleness bound at or below ``replication interval
+    + one-way inter-region latency``: even a perfectly healthy
+    replication pipeline cannot apply a batch remotely faster than
+    that floor, so every failed-over read counts as stale and the
+    staleness scorecard is vacuous.
+``CFG004``
+    Front-door failure detection (``unhealthy_threshold x
+    probe_interval + probe_timeout`` in the worst case) slower than
+    the scenario's declared MTTR gate: the gate fails before the
+    front door can possibly react.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .rules import Finding, Severity
+
+__all__ = ["check_policies"]
+
+_EPS = 1e-9
+
+
+def check_policies(app, plan) -> List[Finding]:
+    """CFG001-CFG004 for one application + deployment plan."""
+    findings: List[Finding] = []
+
+    # -- CFG001: dead breakers --------------------------------------------
+    default_reported = False
+    for service in sorted(app.services):
+        policy = plan.policy_for(service)
+        breaker = getattr(policy, "breaker", None)
+        if breaker is None or breaker.min_volume <= breaker.window:
+            continue
+        if service not in plan.policies:
+            # The broken breaker comes from the default policy: one
+            # finding, not one per tier it applies to.
+            if default_reported:
+                continue
+            default_reported = True
+            where = "default policy"
+        else:
+            where = f"policy for service {service!r}"
+        findings.append(Finding(
+            code="CFG001",
+            message=f"{where}: breaker min_volume "
+                    f"{breaker.min_volume} exceeds its rolling window "
+                    f"{breaker.window}, so the trip quorum is "
+                    f"unreachable",
+            path=app.name, severity=Severity.WARNING))
+
+    # -- CFG002: no-op shedder --------------------------------------------
+    if plan.shed_concurrency is not None:
+        entry = app.entry_service or next(iter(sorted(app.services)))
+        entry_policy = plan.policy_for(entry)
+        deadline = getattr(entry_policy, "deadline", None)
+        bound = deadline if deadline is not None else app.qos_latency
+        label = "deadline" if deadline is not None else "QoS target"
+        if bound is not None and bound > 0:
+            little = plan.load * bound
+            if plan.shed_concurrency >= little - _EPS:
+                findings.append(Finding(
+                    code="CFG002",
+                    message=f"shedder cap {plan.shed_concurrency} >= "
+                            f"Little's-law in-flight bound "
+                            f"{little:.1f} ({plan.load:g} rps x "
+                            f"{bound * 1e3:.1f} ms {label}): it can "
+                            f"only engage after the {label} is blown",
+                    path=app.name, severity=Severity.WARNING))
+
+    # -- CFG003: unsatisfiable staleness bound ----------------------------
+    if plan.replication_interval is not None \
+            and plan.staleness_bound is not None \
+            and len(getattr(app, "regions", []) or []) >= 2:
+        if plan.inter_region_latency is not None:
+            one_way = plan.inter_region_latency
+        else:
+            from ..region.topology import DEFAULT_INTER_REGION_RTT
+            one_way = DEFAULT_INTER_REGION_RTT
+        floor = plan.replication_interval + one_way
+        if plan.staleness_bound <= floor + _EPS:
+            findings.append(Finding(
+                code="CFG003",
+                message=f"staleness bound "
+                        f"{plan.staleness_bound * 1e3:.0f} ms <= "
+                        f"replication floor {floor * 1e3:.0f} ms "
+                        f"({plan.replication_interval * 1e3:.0f} ms "
+                        f"batch interval + {one_way * 1e3:.0f} ms "
+                        f"one-way latency): every healthy "
+                        f"cross-region read is stale",
+                path=app.name))
+
+    # -- CFG004: detection slower than the MTTR gate ----------------------
+    if plan.mttr_gate is not None:
+        detection = plan.unhealthy_threshold * plan.probe_interval \
+            + plan.probe_timeout
+        if detection > plan.mttr_gate + _EPS:
+            findings.append(Finding(
+                code="CFG004",
+                message=f"front-door worst-case detection "
+                        f"{detection:.2f} s ({plan.unhealthy_threshold}"
+                        f" x {plan.probe_interval:g} s probes + "
+                        f"{plan.probe_timeout:g} s timeout) exceeds "
+                        f"the {plan.mttr_gate:g} s MTTR gate",
+                path=app.name))
+
+    return findings

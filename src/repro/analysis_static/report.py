@@ -1,4 +1,7 @@
-"""Rendering of analysis findings: text for humans, JSON for tooling."""
+"""Rendering of analysis findings: text for humans, JSON and SARIF for
+tooling.  Every formatter sorts findings and keys, so repeated runs on
+the same inputs are byte-identical — the property the regression tests
+and CI artifact diffing depend on."""
 
 from __future__ import annotations
 
@@ -7,7 +10,8 @@ from typing import Dict, List, Sequence
 
 from .rules import ALL_RULES, Finding, Severity
 
-__all__ = ["format_text", "format_json", "exit_code", "explain_rules"]
+__all__ = ["format_text", "format_json", "format_sarif", "exit_code",
+           "explain_rules"]
 
 
 def format_text(findings: Sequence[Finding],
@@ -59,6 +63,65 @@ def format_json(findings: Sequence[Finding],
     return json.dumps(payload, indent=2)
 
 
+def format_sarif(findings: Sequence[Finding],
+                 files_checked: int = 0,
+                 apps_checked: int = 0) -> str:
+    """SARIF 2.1.0 log — the format CI code-scanning uploads consume.
+
+    The driver carries the whole rule registry (sorted), results carry
+    one location each; ``sort_keys`` + sorted findings keep the output
+    byte-stable across runs.
+    """
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": ALL_RULES[code][0]},
+            "help": {"text": ALL_RULES[code][1]},
+        }
+        for code in sorted(ALL_RULES)
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": f.severity,
+            "message": {"text": f"{f.message} (hint: {f.hint})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-simlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesChecked": files_checked,
+                    "appsChecked": apps_checked,
+                    "errors": sum(1 for f in findings
+                                  if f.severity == Severity.ERROR),
+                    "warnings": sum(1 for f in findings
+                                    if f.severity == Severity.WARNING),
+                },
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
 def exit_code(findings: Sequence[Finding]) -> int:
     """1 when any error-severity finding exists, else 0."""
     return 1 if any(f.severity == Severity.ERROR for f in findings) else 0
@@ -72,7 +135,7 @@ def explain_rules() -> str:
         lines.append(f"{code}: {summary}")
         lines.append(f"    fix: {hint}")
     lines.append("")
-    lines.append("suppress a source finding with "
-                 "'# simlint: disable=SIM00x[,SIM00y]' or "
-                 "'# simlint: disable=all' on the flagged line")
+    lines.append("suppress a source finding with a "
+                 "'# simlint: disable' comment on the flagged line, "
+                 "naming the code(s) comma-separated or 'all'")
     return "\n".join(lines)

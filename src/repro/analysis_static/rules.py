@@ -1,18 +1,24 @@
 """Rule registry, findings, and suppression handling.
 
-Every check in this package — the AST linter and the topology
-validator alike — reports :class:`Finding` objects tagged with a rule
-code.  ``SIM00x`` codes come from :mod:`.simlint` (source-level
-determinism hazards); ``TOPO00x`` codes come from :mod:`.topology`
-(service-graph structure).  The shared vocabulary keeps the CLI,
-the CI job, and the test fixtures on one format.
+Every check in this package — the AST linter, the topology validator,
+and the flow analyzer alike — reports :class:`Finding` objects tagged
+with a rule code.  ``SIM00x`` codes come from :mod:`.simlint`
+(source-level determinism hazards); ``TOPO00x`` codes come from
+:mod:`.topology` (service-graph structure); ``FAULT00x`` from
+:mod:`.faultcheck` (chaos schedules); ``CAP00x``/``DLINE00x`` from
+:mod:`.flow` (capacity and deadline feasibility at a declared load);
+``CFG00x`` from :mod:`.policycheck` (cross-layer policy consistency).
+The shared vocabulary keeps the CLI, the CI job, and the test fixtures
+on one format.
 
 Suppressions
 ------------
 A finding on a line carrying ``# simlint: disable=SIM001`` (or a
 comma-separated list, or ``disable=all``) is dropped.  Suppressions are
 per-line and per-code by design: a blanket file-level opt-out would
-defeat the point of the pass.
+defeat the point of the pass.  A suppression naming a rule id that does
+not exist is itself reported (``SIM006``, warning): a typo would
+otherwise silently suppress nothing.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ __all__ = [
     "Severity",
     "parse_suppressions",
     "filter_suppressed",
+    "unknown_suppressions",
 ]
 
 
@@ -125,6 +132,89 @@ ALL_RULES: Dict[str, tuple] = {
         "service_regions entry); an undeclared primary region leaves "
         "replication lag and failover semantics undefined",
     ),
+    "SIM006": (
+        "unknown rule id in a '# simlint: disable=' suppression "
+        "comment",
+        "fix the typo or drop the suppression; an unknown id silently "
+        "suppresses nothing",
+    ),
+    "CAP001": (
+        "tier saturated at the declared load: utilization >= 1 before "
+        "the first simulated event",
+        "add replicas/cores to the tier or lower the offered load; an "
+        "offered load above capacity grows the queue without bound",
+    ),
+    "CAP002": (
+        "tier utilization above the tail blow-up threshold at the "
+        "declared load",
+        "M/G/c waiting scales like 1/(1-rho): above ~85% utilization "
+        "the p99 explodes; provision headroom before the flash crowd "
+        "does it for you",
+    ),
+    "CAP003": (
+        "worst-case retry-amplified load saturates a tier that is "
+        "stable without retries",
+        "budget the retries (retry_budget_ratio) or add capacity: "
+        "under overload every caller retries, and the amplified "
+        "arrival rate crosses the tier's capacity",
+    ),
+    "CAP004": (
+        "worker/connection pool below the Little's-law concurrency "
+        "the declared load requires",
+        "raise max_workers or add replicas: in-flight requests ~= "
+        "arrival rate x hold time (a worker is held across downstream "
+        "calls — the Fig. 17 HTTP/1 backpressure trap)",
+    ),
+    "DLINE001": (
+        "critical-path minimum service + wire time exceeds the "
+        "end-to-end deadline",
+        "raise the deadline or shorten the path: even with zero "
+        "queueing every request is dead on arrival",
+    ),
+    "DLINE002": (
+        "child RPC timeout >= the residual parent deadline, so the "
+        "timeout can never fire",
+        "lower the child rpc_timeout below the residual deadline "
+        "(deadline minus best-case elapsed time at issue) or raise "
+        "the end-to-end deadline",
+    ),
+    "DLINE003": (
+        "full retry schedule (attempts x per-try timeout + backoff) "
+        "cannot fit inside the propagated deadline",
+        "the later retries are dead on arrival: reduce max_retries, "
+        "shrink rpc_timeout, or raise the deadline",
+    ),
+    "DLINE004": (
+        "hedge delay >= the request's completion bound, so the hedge "
+        "can never launch",
+        "set hedge_after well below the deadline/timeout bound (e.g. "
+        "near the expected p95 latency) or drop hedging",
+    ),
+    "CFG001": (
+        "circuit breaker can never trip: its minimum volume exceeds "
+        "its rolling window",
+        "keep min_volume <= window; the failure-rate gate is "
+        "evaluated over a window that can never reach quorum",
+    ),
+    "CFG002": (
+        "load shedder admits more concurrency than the declared load "
+        "can ever queue up (a no-op)",
+        "size max_concurrent below arrival rate x residence bound "
+        "(Little's law) so shedding engages before the latency "
+        "target is already blown",
+    ),
+    "CFG003": (
+        "staleness bound tighter than replication interval plus "
+        "inter-region latency",
+        "raise the staleness bound or ship replication batches more "
+        "often; every healthy cross-region read would count as stale",
+    ),
+    "CFG004": (
+        "front-door failure detection slower than the declared MTTR "
+        "gate",
+        "lower unhealthy_threshold/probe_interval (detection ~= k x "
+        "probe interval + probe timeout) or relax the MTTR gate",
+    ),
 }
 
 
@@ -174,10 +264,35 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
         if raw.lower() == "all":
             out[lineno] = _ALL
         else:
+            # Normalize an "all" buried in a comma list to the same
+            # lowercase sentinel the filter recognizes.
             out[lineno] = frozenset(
-                code.strip().upper() for code in raw.split(",")
-                if code.strip())
+                "all" if code.strip().lower() == "all"
+                else code.strip().upper()
+                for code in raw.split(",") if code.strip())
     return out
+
+
+def unknown_suppressions(source: str, path: str) -> List[Finding]:
+    """``SIM006`` findings for suppression comments naming rule ids
+    that do not exist in :data:`ALL_RULES` (typos suppress nothing)."""
+    findings: List[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        for token in match.group(1).split(","):
+            code = token.strip()
+            if not code or code.lower() == "all":
+                continue
+            if code.upper() not in ALL_RULES:
+                findings.append(Finding(
+                    code="SIM006",
+                    message=f"suppression names unknown rule id "
+                            f"{code!r}",
+                    path=path, line=lineno,
+                    severity=Severity.WARNING))
+    return findings
 
 
 def filter_suppressed(findings: Sequence[Finding],

@@ -40,8 +40,10 @@ Scope: SIM002 and the class-state half of SIM004 apply only to
 Files outside the ``repro`` package — e.g. test fixtures — are
 conservatively treated as simulation code.
 
-Suppress a finding by appending ``# simlint: disable=SIM00x`` (comma
-separated, or ``=all``) to the offending line.
+Suppress a finding by appending ``# simlint: disable=SIM001`` (comma
+separated, or ``=all``) to the offending line.  A suppression naming a
+rule id that does not exist is reported as ``SIM006`` (warning) rather
+than silently suppressing nothing.
 """
 
 from __future__ import annotations
@@ -50,7 +52,12 @@ import ast
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .rules import Finding, filter_suppressed, parse_suppressions
+from .rules import (
+    Finding,
+    filter_suppressed,
+    parse_suppressions,
+    unknown_suppressions,
+)
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "is_sim_path"]
 
@@ -358,8 +365,10 @@ def lint_source(source: str, path: str = "<string>",
                          f"{exc.lineno}: {exc.msg}") from exc
     visitor = _SimLintVisitor(path, sim_path)
     visitor.visit(tree)
-    findings = filter_suppressed(visitor.findings,
-                                 parse_suppressions(source))
+    # Typos in suppression comments are findings too (SIM006) — and
+    # themselves suppressible, like everything else, per line.
+    raw = visitor.findings + unknown_suppressions(source, path)
+    findings = filter_suppressed(raw, parse_suppressions(source))
     return sorted(findings, key=Finding.sort_key)
 
 

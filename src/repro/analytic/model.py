@@ -118,6 +118,18 @@ class AnalyticModel:
         speed = self.service_speed.get(service, self._speed())
         return nominal * (beta / speed + (1.0 - beta))
 
+    def zero_load_time(self, service: str,
+                       work_scale: float = 1.0) -> float:
+        """Best-case wall-clock of one visit at ``work_scale``: pure
+        application compute on this hardware with zero queueing and no
+        network work — the sound lower bound the static deadline
+        checks (DLINE) build their critical-path floor from."""
+        svc = self.app.services[service]
+        nominal = svc.work_mean * work_scale
+        beta = svc.freq_sensitivity
+        speed = self.service_speed.get(service, self._speed())
+        return nominal * (beta / speed + (1.0 - beta))
+
     # -- per-tier analysis -----------------------------------------------
     def stations(self, qps: float) -> Dict[str, StationResult]:
         """Service → M/G/c station result at the offered load."""

@@ -46,10 +46,17 @@ Commands
     (the Fig. 4-8 diagrams).
 ``lint [PATHS]``
     Run the simulation-safety static analysis (``simlint`` rule codes
-    SIM001-SIM005), the topology validator over the registered
+    SIM001-SIM006), the topology validator over the registered
     application graphs (TOPO001-TOPO006, including region pins), and
     the fault-schedule validators (FAULT001-FAULT004, including
     dangling region targets); non-zero exit on findings.
+``lint --app NAME --load RPS [--config plan.json]``
+    Flow-analysis mode: statically check one application's deployment
+    plan at the declared load using the analytic queueing backend —
+    saturated tiers (CAP001-CAP004), infeasible deadlines/timeouts
+    (DLINE001-DLINE004), and cross-layer policy inconsistencies
+    (CFG001-CFG004).  ``--format sarif`` emits a SARIF 2.1.0 log for
+    CI annotation.
 """
 
 from __future__ import annotations
@@ -475,8 +482,17 @@ def _cmd_dot(args) -> int:
 def _cmd_lint(args) -> int:
     from .analysis_static.cli import main as lint_main
     forwarded = list(args.paths)
-    if args.json:
-        forwarded += ["--format", "json"]
+    fmt = args.format
+    if args.json and fmt == "text":
+        fmt = "json"
+    if fmt != "text":
+        forwarded += ["--format", fmt]
+    if args.app:
+        forwarded += ["--app", args.app]
+    if args.load is not None:
+        forwarded += ["--load", str(args.load)]
+    if args.config:
+        forwarded += ["--config", args.config]
     if args.explain:
         forwarded.append("--explain")
     return lint_main(forwarded)
@@ -645,12 +661,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app", choices=app_names())
 
     p = sub.add_parser(
-        "lint", help="simulation-safety static analysis")
+        "lint", help="simulation-safety static analysis and "
+                     "capacity/deadline flow analysis")
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint "
                         "(default: the repro package)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable report")
+                   help="machine-readable report (alias for "
+                        "--format json)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format")
+    p.add_argument("--app", choices=app_names(), default=None,
+                   help="flow-analysis mode: check one application's "
+                        "deployment plan (CAP/DLINE/CFG) at --load")
+    p.add_argument("--load", type=_positive_float, default=None,
+                   help="declared offered load in rps (with --app)")
+    p.add_argument("--config", default=None,
+                   help="JSON deployment plan file (with --app)")
     p.add_argument("--explain", action="store_true",
                    help="print the rule table and exit")
 

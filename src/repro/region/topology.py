@@ -116,6 +116,25 @@ class RegionTopology:
             return self.latency[(dst, src)]
         return self.default_latency
 
+    def min_inter_region_latency(self) -> Optional[float]:
+        """Smallest one-way latency between two distinct regions, or
+        ``None`` for a single-region topology.
+
+        This is the floor any replication batch pays before it can
+        apply remotely: a staleness bound at or below ``interval +
+        min_inter_region_latency()`` is unsatisfiable even on healthy
+        links (the CFG003 static check).
+        """
+        best: Optional[float] = None
+        for src in self.names:
+            for dst in self.names:
+                if src == dst:
+                    continue
+                lat = self.latency_between(src, dst)
+                if best is None or lat < best:
+                    best = lat
+        return best
+
     def build_fabric(self, env: Environment,
                      rng: RandomStreams) -> NetworkFabric:
         """The cross-region fabric: one zone per region.

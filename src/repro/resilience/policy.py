@@ -129,3 +129,37 @@ class ResiliencePolicy:
         if self.retry_budget_ratio is None:
             return None
         return RetryBudget(ratio=self.retry_budget_ratio)
+
+    # -- static-analysis helpers (repro.analysis_static.flow) ------------
+    def worst_case_attempts(self) -> int:
+        """Attempts one RPC can take when every try fails."""
+        return 1 + self.max_retries
+
+    def sustained_attempts(self) -> float:
+        """Attempts per first attempt sustainable in steady state.
+
+        The token-bucket budget caps sustained retry traffic at
+        ``retry_budget_ratio`` of the offered load; without a budget
+        every configured retry goes through — the amplification factor
+        the CAP003 capacity check charges against each tier.
+        """
+        if self.retry_budget_ratio is None:
+            return 1.0 + self.max_retries
+        return 1.0 + min(float(self.max_retries), self.retry_budget_ratio)
+
+    def min_schedule_time(self) -> Optional[float]:
+        """Fastest wall-clock a full failing retry schedule can burn.
+
+        Every attempt times out after ``rpc_timeout`` and each retry
+        waits its minimum (jitter-low) backoff first.  ``None`` when no
+        per-attempt timeout is set: a single hung attempt already waits
+        forever, so no finite schedule bound exists.
+        """
+        if self.rpc_timeout is None:
+            return None
+        total = self.rpc_timeout * (1 + self.max_retries)
+        for retry in range(1, self.max_retries + 1):
+            delay = self.backoff_base \
+                * self.backoff_multiplier ** (retry - 1)
+            total += delay * (1.0 - self.backoff_jitter)
+        return total

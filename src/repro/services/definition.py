@@ -80,6 +80,22 @@ class ServiceDefinition:
         if self.traits is None:
             object.__setattr__(self, "traits", LANGUAGE_TRAITS[self.language])
 
+    def concurrency_limit(self, replicas: int = 1) -> Optional[int]:
+        """Total in-flight requests the tier can hold at ``replicas``
+        replicas, or ``None`` for an unbounded worker pool.
+
+        A worker is held for the request's *entire* residence — own
+        compute plus every downstream call — so this ceiling, compared
+        against the Little's-law concurrency ``arrival x hold time``,
+        is what the CAP004 static check keys off (the Fig. 17 HTTP/1
+        backpressure trap).
+        """
+        if self.max_workers is None:
+            return None
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        return self.max_workers * replicas
+
     def with_traits(self, **changes) -> "ServiceDefinition":
         """Copy with selected :class:`ArchTraits` fields overridden."""
         return replace(self, traits=replace(self.traits, **changes))

@@ -330,6 +330,17 @@ class Environment:
         self._seq = 0
         self._crash: Optional[BaseException] = None
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events scheduled over this environment's lifetime.
+
+        The sequence counter doubles as the engine-throughput
+        denominator for the perf-trajectory harness
+        (``benchmarks/bench_perf_engine.py``): events/sec is
+        ``events_scheduled / wall seconds``.
+        """
+        return self._seq
+
     # -- factory helpers -------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event triggering ``delay`` seconds from now."""

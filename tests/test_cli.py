@@ -195,3 +195,35 @@ def test_predict_command_writes_report(tmp_path, capsys):
     assert payload["scenario"] == "backpressure"
     assert payload["model"] == "heuristic"
     assert [ev["seed"] for ev in payload["evals"]] == [2]
+
+
+def test_lint_flow_analysis_clean_app(capsys):
+    assert main(["lint", "--app", "social_network",
+                 "--load", "100"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_flow_analysis_flags_underprovisioning(tmp_path, capsys):
+    import json
+    from repro.apps.registry import build_app
+    app = build_app("social_network")
+    cfg = tmp_path / "plan.json"
+    cfg.write_text(json.dumps({
+        "cores": 1, "mix": {"repost": 1.0},
+        "replicas": {name: 1 for name in app.services}}))
+    assert main(["lint", "--app", "social_network", "--load", "780",
+                 "--config", str(cfg), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert "CAP001" in {f["code"] for f in payload["findings"]}
+
+
+def test_lint_sarif_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    import json
+    assert main(["lint", str(bad), "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    [run] = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-simlint"
+    assert any(r["ruleId"] == "SIM001" for r in run["results"])

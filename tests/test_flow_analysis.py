@@ -1,0 +1,386 @@
+"""Tests for the capacity & policy flow analyzer (CAP/DLINE/CFG)."""
+
+import json
+
+import pytest
+
+from repro.analysis_static import (
+    DeploymentPlan,
+    InfeasiblePlanError,
+    TopologyError,
+    analyze_flow,
+    assert_feasible,
+    check_capacity,
+    check_deadlines,
+    check_policies,
+    load_plan,
+)
+from repro.analysis_static.flow import build_model
+from repro.apps.registry import build_app
+from repro.resilience import BreakerConfig, ResiliencePolicy
+from repro.services.app import Application, Operation
+from repro.services.calltree import CallNode, seq
+from repro.services.definition import ServiceDefinition
+
+
+def make_app(frontend_work=100e-6, backend_work=1e-3,
+             frontend_workers=None, backend_workers=None,
+             regions=()):
+    """frontend -> backend, the minimal graph with real queueing."""
+    services = {
+        "frontend": ServiceDefinition(
+            name="frontend", work_mean=frontend_work,
+            max_workers=frontend_workers),
+        "backend": ServiceDefinition(
+            name="backend", work_mean=backend_work,
+            max_workers=backend_workers),
+    }
+    root = CallNode(service="frontend",
+                    groups=seq(CallNode(service="backend")))
+    return Application(
+        name="twotier", services=services,
+        operations={"ping": Operation(name="ping", root=root)},
+        entry_service="frontend", qos_latency=0.05,
+        regions=list(regions))
+
+
+def plan_for(app, load, **kwargs):
+    kwargs.setdefault("replicas", {name: 1 for name in app.services})
+    kwargs.setdefault("cores", 1)
+    return DeploymentPlan(load=load, **kwargs)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def backend_service_time(app, plan):
+    return build_model(app, plan).service_time("backend")
+
+
+# ----------------------------------------------------------------- CAP
+class TestCapacity:
+    def test_cap001_saturated_tier(self):
+        app = make_app()
+        plan = plan_for(app, 100.0)
+        load = 1.1 / backend_service_time(app, plan)
+        findings = check_capacity(app, plan_for(app, load))
+        assert "CAP001" in codes(findings)
+        [f] = [f for f in findings if f.code == "CAP001"]
+        assert "'backend'" in f.message
+        assert f.path == "twotier"
+
+    def test_cap002_tail_blowup_warning(self):
+        app = make_app()
+        probe = plan_for(app, 100.0)
+        load = 0.9 / backend_service_time(app, probe)
+        findings = check_capacity(app, plan_for(app, load))
+        assert codes(findings) == ["CAP002"]
+        assert findings[0].severity == "warning"
+
+    def test_cap003_retry_amplification(self):
+        app = make_app()
+        probe = plan_for(app, 100.0)
+        load = 0.4 / backend_service_time(app, probe)
+        retrying = ResiliencePolicy(rpc_timeout=0.05, max_retries=2)
+        findings = check_capacity(
+            app, plan_for(app, load,
+                          policies={"backend": retrying}))
+        assert codes(findings) == ["CAP003"]
+        assert "x3.00" in findings[0].message
+
+    def test_cap003_respects_retry_budget(self):
+        """A 10% retry budget caps sustained amplification at 1.1x."""
+        app = make_app()
+        probe = plan_for(app, 100.0)
+        load = 0.4 / backend_service_time(app, probe)
+        budgeted = ResiliencePolicy(rpc_timeout=0.05, max_retries=2,
+                                    retry_budget_ratio=0.1)
+        findings = check_capacity(
+            app, plan_for(app, load,
+                          policies={"backend": budgeted}))
+        assert findings == []
+
+    def test_cap004_worker_pool_below_littles_law(self):
+        app = make_app(backend_work=200e-6, frontend_workers=1)
+        plan = plan_for(app, 100.0, cores=4)
+        model = build_model(app, plan)
+        hold = (model.zero_load_time("frontend")
+                + 2.0 * plan.wire_latency
+                + model.zero_load_time("backend"))
+        load = 2.0 / hold  # concurrency floor 2.0 > the 1-worker pool
+        findings = check_capacity(app, plan_for(app, load, cores=4))
+        assert "CAP004" in codes(findings)
+        [f] = [f for f in findings if f.code == "CAP004"]
+        assert "'frontend'" in f.message
+        assert "Little's-law" in f.message
+
+    def test_cap004_scales_with_replicas(self):
+        app = make_app(backend_work=200e-6, frontend_workers=1)
+        plan = plan_for(app, 100.0, cores=4)
+        model = build_model(app, plan)
+        hold = (model.zero_load_time("frontend")
+                + 2.0 * plan.wire_latency
+                + model.zero_load_time("backend"))
+        load = 2.0 / hold
+        roomy = plan_for(app, load, cores=4,
+                         replicas={"frontend": 4, "backend": 4})
+        assert "CAP004" not in codes(check_capacity(app, roomy))
+
+    def test_healthy_plan_is_clean(self):
+        app = make_app()
+        assert check_capacity(app, plan_for(app, 50.0)) == []
+
+
+# --------------------------------------------------------------- DLINE
+class TestDeadlines:
+    def entry(self, **kwargs):
+        return ResiliencePolicy(deadline=0.1, **kwargs)
+
+    def test_dline001_infeasible_deadline(self):
+        app = make_app()
+        tight = ResiliencePolicy(deadline=0.0005)
+        findings = check_deadlines(
+            app, plan_for(app, 10.0, policies={"frontend": tight}))
+        assert "DLINE001" in codes(findings)
+        [f] = [f for f in findings if f.code == "DLINE001"]
+        assert "'ping'" in f.message and "deadline" in f.message
+
+    def test_feasible_deadline_is_clean(self):
+        app = make_app()
+        findings = check_deadlines(
+            app, plan_for(app, 10.0,
+                          policies={"frontend": self.entry()}))
+        assert findings == []
+
+    def test_dline002_timeout_outlives_residual(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, policies={
+            "frontend": self.entry(),
+            "backend": ResiliencePolicy(rpc_timeout=0.1),
+        })
+        findings = check_deadlines(app, plan)
+        assert codes(findings) == ["DLINE002"]
+        assert "frontend -> backend" in findings[0].message
+
+    def test_dline002_gated_on_propagation(self):
+        """Without deadline propagation the downstream timeout still
+        fires, so the config is wasteful but not inert."""
+        app = make_app()
+        plan = plan_for(app, 10.0, policies={
+            "frontend": self.entry(propagate_deadline=False),
+            "backend": ResiliencePolicy(rpc_timeout=0.1),
+        })
+        assert check_deadlines(app, plan) == []
+
+    def test_dline003_retry_schedule_overflow(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, policies={
+            "frontend": self.entry(),
+            "backend": ResiliencePolicy(
+                rpc_timeout=0.04, max_retries=3,
+                backoff_base=0.02, backoff_jitter=0.0),
+        })
+        findings = check_deadlines(app, plan)
+        assert codes(findings) == ["DLINE003"]
+        assert findings[0].severity == "warning"
+        assert "4 attempts" in findings[0].message
+
+    def test_dline004_hedge_never_launches(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, hedge_after=0.2,
+                        policies={"frontend": self.entry()})
+        findings = check_deadlines(app, plan)
+        assert codes(findings) == ["DLINE004"]
+
+    def test_hedge_inside_deadline_is_clean(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, hedge_after=0.01,
+                        policies={"frontend": self.entry()})
+        assert check_deadlines(app, plan) == []
+
+    def test_no_deadline_no_findings(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, policies={
+            "backend": ResiliencePolicy(rpc_timeout=10.0)})
+        assert check_deadlines(app, plan) == []
+
+
+# ----------------------------------------------------------------- CFG
+class TestPolicyConsistency:
+    def test_cfg001_dead_breaker(self):
+        app = make_app()
+        broken = ResiliencePolicy(breaker=BreakerConfig(
+            window=10, min_volume=40))
+        findings = check_policies(
+            app, plan_for(app, 10.0, policies={"backend": broken}))
+        assert codes(findings) == ["CFG001"]
+        assert "'backend'" in findings[0].message
+
+    def test_cfg001_default_policy_reported_once(self):
+        app = make_app()
+        broken = ResiliencePolicy(breaker=BreakerConfig(
+            window=10, min_volume=40))
+        findings = check_policies(
+            app, plan_for(app, 10.0, default_policy=broken))
+        assert codes(findings) == ["CFG001"]
+        assert "default policy" in findings[0].message
+
+    def test_working_breaker_is_clean(self):
+        app = make_app()
+        fine = ResiliencePolicy(breaker=BreakerConfig(
+            window=50, min_volume=20))
+        assert check_policies(
+            app, plan_for(app, 10.0, policies={"backend": fine})) == []
+
+    def test_cfg002_noop_shedder(self):
+        app = make_app()  # qos_latency 0.05 -> bound 10 x 0.05 = 0.5
+        findings = check_policies(
+            app, plan_for(app, 10.0, shed_concurrency=5))
+        assert codes(findings) == ["CFG002"]
+        assert "QoS target" in findings[0].message
+
+    def test_cfg002_uses_deadline_when_set(self):
+        app = make_app()
+        plan = plan_for(app, 100.0, shed_concurrency=2,
+                        policies={"frontend": ResiliencePolicy(
+                            deadline=0.01)})
+        [f] = check_policies(app, plan)
+        assert f.code == "CFG002" and "deadline" in f.message
+
+    def test_engaging_shedder_is_clean(self):
+        app = make_app()
+        assert check_policies(
+            app, plan_for(app, 1000.0, shed_concurrency=5)) == []
+
+    def test_cfg003_unsatisfiable_staleness_bound(self):
+        app = make_app(regions=("us-east", "eu-west"))
+        findings = check_policies(
+            app, plan_for(app, 10.0, replication_interval=0.25,
+                          staleness_bound=0.2))
+        assert codes(findings) == ["CFG003"]
+        assert "replication floor" in findings[0].message
+
+    def test_cfg003_needs_two_regions(self):
+        app = make_app()  # single implicit region
+        assert check_policies(
+            app, plan_for(app, 10.0, replication_interval=0.25,
+                          staleness_bound=0.2)) == []
+
+    def test_cfg003_honours_latency_override(self):
+        app = make_app(regions=("us-east", "eu-west"))
+        plan = plan_for(app, 10.0, replication_interval=0.1,
+                        staleness_bound=0.2,
+                        inter_region_latency=0.005)
+        assert check_policies(app, plan) == []
+
+    def test_cfg004_detection_slower_than_mttr_gate(self):
+        app = make_app()
+        findings = check_policies(
+            app, plan_for(app, 10.0, mttr_gate=1.0))
+        assert codes(findings) == ["CFG004"]
+        assert "MTTR gate" in findings[0].message
+
+    def test_cfg004_fast_probes_pass(self):
+        app = make_app()
+        plan = plan_for(app, 10.0, mttr_gate=1.0,
+                        probe_interval=0.1, probe_timeout=0.2,
+                        unhealthy_threshold=2)
+        assert check_policies(app, plan) == []
+
+
+# ------------------------------------------------------- plan handling
+class TestDeploymentPlan:
+    def test_rejects_bad_scalars(self):
+        with pytest.raises(ValueError, match="load"):
+            DeploymentPlan(load=0)
+        with pytest.raises(ValueError, match="util_warn"):
+            DeploymentPlan(load=10, util_warn=1.5)
+        with pytest.raises(ValueError, match="hedge_after"):
+            DeploymentPlan(load=10, hedge_after=0.0)
+        with pytest.raises(ValueError, match="staleness_bound"):
+            DeploymentPlan(load=10, staleness_bound=-1.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown plan field"):
+            DeploymentPlan.from_dict({"load": 10, "replcias": {}})
+        with pytest.raises(ValueError, match="unknown policy field"):
+            DeploymentPlan.from_dict({
+                "load": 10,
+                "policies": {"backend": {"max_retires": 2}}})
+        with pytest.raises(ValueError, match="unknown breaker field"):
+            DeploymentPlan.from_dict({
+                "load": 10,
+                "policies": {"backend": {
+                    "breaker": {"windw": 10}}}})
+
+    def test_from_dict_parses_policies_and_default(self):
+        plan = DeploymentPlan.from_dict({
+            "load": 50,
+            "policies": {
+                "default": {"max_retries": 1},
+                "backend": {"rpc_timeout": 0.02,
+                            "breaker": {"window": 20}},
+            }})
+        assert plan.default_policy.max_retries == 1
+        assert plan.policy_for("backend").rpc_timeout == 0.02
+        assert plan.policy_for("backend").breaker.window == 20
+        assert plan.policy_for("anything-else").max_retries == 1
+
+    def test_validate_against_rejects_unknown_names(self):
+        app = make_app()
+        with pytest.raises(ValueError, match="unknown service"):
+            DeploymentPlan(load=10,
+                           replicas={"nosuch": 1}).validate_against(app)
+        with pytest.raises(ValueError, match="unknown operation"):
+            DeploymentPlan(load=10,
+                           mix={"nosuch": 1.0}).validate_against(app)
+
+    def test_load_plan_reads_json_and_overrides_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "load": 10, "cores": 1,
+            "replicas": {"frontend": 2, "backend": 3}}))
+        plan = load_plan(str(path))
+        assert plan.load == 10
+        assert load_plan(str(path), load=99.0).load == 99.0
+        assert plan.replicas == {"frontend": 2, "backend": 3}
+
+    def test_load_plan_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_plan(str(path))
+
+
+# ----------------------------------------------------------- top level
+class TestAnalyzeFlow:
+    def test_findings_are_sorted_and_multi_family(self):
+        app = make_app()
+        probe = plan_for(app, 100.0)
+        load = 1.1 / backend_service_time(app, probe)
+        plan = plan_for(app, load, mttr_gate=1.0)
+        findings = analyze_flow(app, plan)
+        assert codes(findings) == sorted(codes(findings))
+        assert {"CAP001", "CFG004"} <= set(codes(findings))
+
+    def test_assert_feasible_raises_on_errors(self):
+        app = make_app()
+        probe = plan_for(app, 100.0)
+        load = 1.1 / backend_service_time(app, probe)
+        with pytest.raises(InfeasiblePlanError) as exc:
+            assert_feasible(app, plan_for(app, load))
+        assert "CAP001" in str(exc.value)
+        assert isinstance(exc.value, TopologyError)
+
+    def test_assert_feasible_returns_warnings(self):
+        app = make_app()
+        findings = assert_feasible(
+            app, plan_for(app, 10.0, shed_concurrency=5))
+        assert codes(findings) == ["CFG002"]
+
+    def test_healthy_social_network_default_plan_is_clean(self):
+        """The acceptance baseline: the stock app under the `repro
+        simulate` provisioning convention has zero findings."""
+        app = build_app("social_network")
+        assert analyze_flow(app, DeploymentPlan(load=100.0)) == []

@@ -1,0 +1,184 @@
+"""Acceptance: flow-analyzer verdicts cross-validated by simulation.
+
+Each lint verdict here is checked against what actually happens when
+the *same* deployment plan is simulated: a CAP001 tier saturates and
+the run loses throughput; a DLINE001 deadline kills every request; a
+DLINE002 timeout never fires while the propagated deadline does; and
+the healthy baseline both lints clean and completes cleanly.  This is
+the analyzer's soundness contract — a static error verdict must
+correspond to a real, simulated pathology.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis_static import DeploymentPlan, analyze_flow
+from repro.analysis_static.cli import main as lint_main
+from repro.apps.registry import build_app
+from repro.core.experiment import simulate
+from repro.core.provisioning import balanced_provision
+from repro.resilience import ResiliencePolicy
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_app("social_network")
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def flow_codes(findings):
+    return [c for c in codes(findings)
+            if c.startswith(("CAP", "DLINE"))]
+
+
+# A write-heavy mix on a deliberately thin deployment: every service
+# at one replica on one core puts 'writeTimeline' (the fan-out write
+# amplifier) past saturation well before the offered 780 rps.
+REPOST_MIX = {"repost": 1.0}
+
+
+def thin_plan(app, load):
+    ones = {name: 1 for name in app.services}
+    return DeploymentPlan(load=load, replicas=ones, cores=1,
+                          mix=REPOST_MIX), ones
+
+
+class TestCapacityCrossValidation:
+    def test_cap001_matches_saturated_simulation(self, app):
+        plan, ones = thin_plan(app, 780.0)
+        findings = analyze_flow(app, plan)
+        cap001 = [f for f in findings if f.code == "CAP001"]
+        assert cap001, "analyzer must flag the saturated tier"
+        assert any("'writeTimeline'" in f.message for f in cap001)
+
+        res = simulate(app, qps=780.0, duration=6, n_machines=4,
+                       replicas=ones, cores={n: 1 for n in ones},
+                       seed=5, mix=REPOST_MIX)
+        # The simulation confirms the verdict: the run cannot keep up
+        # with the offered load and the flagged tier is pegged.
+        assert res.completion_ratio() < 0.9
+        assert res.throughput() < 0.9 * 780.0
+        busy = res.utilization["writeTimeline"].mean_in(2.0, 6.0)
+        assert busy > 0.9
+
+    def test_healthy_baseline_lints_and_completes_clean(self, app):
+        plan = DeploymentPlan(load=60.0)
+        assert flow_codes(analyze_flow(app, plan)) == []
+
+        replicas = plan.resolved_replicas(app)
+        res = simulate(app, qps=60.0, duration=6, n_machines=6,
+                       replicas=replicas, seed=3)
+        assert res.completion_ratio() >= 0.95
+        assert res.success_ratio() >= 0.95
+
+
+class TestDeadlineCrossValidation:
+    def test_dline001_matches_dead_on_arrival_simulation(self, app):
+        # 0.5 ms end-to-end deadline: below the zero-queueing floor of
+        # every operation, so the analyzer calls every request dead.
+        policy = ResiliencePolicy(deadline=0.0005)
+        plan = DeploymentPlan(load=100.0, default_policy=policy)
+        findings = analyze_flow(app, plan)
+        assert "DLINE001" in codes(findings)
+
+        replicas = plan.resolved_replicas(app)
+        res = simulate(app, qps=100.0, duration=5, n_machines=6,
+                       replicas=replicas, seed=3,
+                       default_policy=policy)
+        assert res.success_ratio() == 0.0
+        assert res.deployment.resilience_stats["deadline_aborts"] > 0
+
+    def test_dline002_timeout_is_provably_inert(self, app):
+        # 20 ms RPC timeouts under a propagated 4 ms deadline: the
+        # deadline always expires first, so the timeout machinery is
+        # configured but unreachable.
+        policy = ResiliencePolicy(deadline=0.004, rpc_timeout=0.02)
+        plan = DeploymentPlan(load=100.0, default_policy=policy)
+        findings = analyze_flow(app, plan)
+        assert "DLINE002" in codes(findings)
+
+        replicas = plan.resolved_replicas(app)
+        res = simulate(app, qps=100.0, duration=5, n_machines=6,
+                       replicas=replicas, seed=3,
+                       default_policy=policy)
+        stats = res.deployment.resilience_stats
+        assert stats["deadline_aborts"] > 0
+        assert stats["timeouts"] == 0
+
+        # Contrast: the same timeout without the suffocating deadline
+        # does fire — the mechanism works, the combination was inert.
+        res = simulate(app, qps=100.0, duration=5, n_machines=6,
+                       replicas=replicas, seed=3,
+                       default_policy=ResiliencePolicy(
+                           rpc_timeout=0.001))
+        assert res.deployment.resilience_stats["timeouts"] > 0
+
+
+class TestFlowCli:
+    def write_plan(self, tmp_path, data):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def thin_plan_file(self, app, tmp_path):
+        return self.write_plan(tmp_path, {
+            "replicas": {name: 1 for name in app.services},
+            "cores": 1,
+            "mix": REPOST_MIX,
+        })
+
+    def test_underprovisioned_config_exits_nonzero(self, app, tmp_path,
+                                                   capsys):
+        cfg = self.thin_plan_file(app, tmp_path)
+        rc = lint_main(["--app", "social_network", "--load", "780",
+                        "--config", cfg, "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert "CAP001" in {f["code"] for f in payload["findings"]}
+
+    def test_healthy_default_plan_exits_zero(self, capsys):
+        rc = lint_main(["--app", "social_network", "--load", "100"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--app", "petstore", "--load", "10"])
+        capsys.readouterr()
+
+    def test_app_mode_flag_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--app", "social_network"])  # missing --load
+        with pytest.raises(SystemExit):
+            lint_main(["--load", "10"])  # --load without --app
+        with pytest.raises(SystemExit):
+            lint_main(["--app", "social_network", "--load", "10",
+                       "src"])  # paths are file-lint mode
+        capsys.readouterr()
+
+    def test_bad_config_exits_two(self, app, tmp_path, capsys):
+        cfg = self.write_plan(tmp_path, {"replcias": {}})
+        assert lint_main(["--app", "social_network", "--load", "10",
+                          "--config", cfg]) == 2
+        assert "unknown plan field" in capsys.readouterr().out
+
+    def test_json_and_sarif_outputs_are_byte_stable(self, app,
+                                                    tmp_path, capsys):
+        cfg = self.thin_plan_file(app, tmp_path)
+        outputs = {}
+        for fmt in ("json", "sarif"):
+            runs = []
+            for _ in range(2):
+                lint_main(["--app", "social_network", "--load", "780",
+                           "--config", cfg, "--format", fmt])
+                runs.append(capsys.readouterr().out)
+            assert runs[0] == runs[1], f"{fmt} output not byte-stable"
+            outputs[fmt] = runs[0]
+        sarif = json.loads(outputs["sarif"])
+        assert sarif["version"] == "2.1.0"
+        [run] = sarif["runs"]
+        assert any(r["ruleId"] == "CAP001" for r in run["results"])

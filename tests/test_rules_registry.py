@@ -1,0 +1,92 @@
+"""Tests for the rules registry contract shared by every analyzer.
+
+The registry is the coupling point between the checkers, the CLI, the
+SARIF export, and CI: every family the package documents must be
+present, every code must follow the shared format, every rule must be
+documented, and exit codes must follow severity — an undocumented or
+misnumbered rule would silently break ``--select``/``--ignore`` and
+the ``repro lint --explain`` table.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis_static.cli import main as lint_main
+from repro.analysis_static.report import exit_code, explain_rules
+from repro.analysis_static.rules import ALL_RULES, Finding, Severity
+
+CODE_RE = re.compile(r"^(SIM|TOPO|FAULT|CAP|DLINE|CFG)\d{3}$")
+
+EXPECTED_FAMILIES = {
+    "SIM": 6,     # source-level determinism hazards + SIM006 meta rule
+    "TOPO": 6,    # service-graph structure
+    "FAULT": 4,   # chaos schedules
+    "CAP": 4,     # capacity at a declared load
+    "DLINE": 4,   # deadline propagation feasibility
+    "CFG": 4,     # cross-layer policy consistency
+}
+
+
+def family(code):
+    return re.match(r"^[A-Z]+", code).group(0)
+
+
+class TestRegistry:
+    def test_every_code_follows_the_shared_format(self):
+        for code in ALL_RULES:
+            assert CODE_RE.match(code), code
+
+    def test_families_complete_and_contiguous(self):
+        """Each family numbers 001..N with no gaps or strays."""
+        by_family = {}
+        for code in ALL_RULES:
+            by_family.setdefault(family(code), []).append(
+                int(code[-3:]))
+        assert {f: len(nums) for f, nums in by_family.items()} == \
+            EXPECTED_FAMILIES
+        for fam, nums in by_family.items():
+            assert sorted(nums) == list(range(1, len(nums) + 1)), fam
+
+    def test_every_rule_is_documented(self):
+        for code, (summary, hint) in ALL_RULES.items():
+            assert summary.strip() and hint.strip(), code
+            assert summary != hint, code
+
+    def test_explain_table_covers_every_rule(self):
+        table = explain_rules()
+        for code in ALL_RULES:
+            assert code in table
+
+
+class TestSeverityContract:
+    def finding(self, code, severity=Severity.ERROR):
+        return Finding(code=code, message="x", path="y",
+                       severity=severity)
+
+    def test_unknown_code_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            self.finding("CAP999")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            self.finding("CAP001", severity="fatal")
+
+    def test_exit_code_follows_severity(self):
+        warn = self.finding("SIM006", Severity.WARNING)
+        err = self.finding("CAP001")
+        assert exit_code([]) == 0
+        assert exit_code([warn]) == 0
+        assert exit_code([warn, err]) == 1
+
+    def test_cli_warning_only_file_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "warn_only.py"
+        src.write_text("x = 1  # simlint: disable=SIM999\n")
+        assert lint_main([str(src), "--no-apps"]) == 0
+        assert "SIM006" in capsys.readouterr().out
+
+    def test_cli_error_file_exits_one(self, tmp_path, capsys):
+        src = tmp_path / "err.py"
+        src.write_text("import random\nx = random.random()\n")
+        assert lint_main([str(src), "--no-apps"]) == 1
+        capsys.readouterr()

@@ -262,6 +262,39 @@ class TestSuppressions:
         assert sup == {2: frozenset({"SIM001", "SIM003"})}
 
 
+# ---------------------------------------------------------------- SIM006
+class TestSim006UnknownSuppression:
+    def test_typod_suppression_reported_with_line(self):
+        findings = lint("""
+            import random
+            x = random.random()  # simlint: disable=SIM01
+        """)
+        assert codes(findings) == ["SIM001", "SIM006"]
+        [sim006] = [f for f in findings if f.code == "SIM006"]
+        assert sim006.line == 3
+        assert "'SIM01'" in sim006.message
+        assert sim006.severity == "warning"
+
+    def test_each_unknown_id_reported(self):
+        findings = lint("""
+            x = 1  # simlint: disable=SIM001, BOGUS, NOPE
+        """)
+        assert codes(findings) == ["SIM006", "SIM006"]
+
+    def test_known_codes_and_all_not_flagged(self):
+        assert lint("""
+            import random
+            a = random.random()  # simlint: disable=SIM001
+            b = random.random()  # simlint: disable=all
+            c = random.random()  # simlint: disable=ALL
+        """) == []
+
+    def test_sim006_itself_suppressible(self):
+        assert lint("""
+            x = 1  # simlint: disable=SIM006,BOGUS
+        """) == []
+
+
 # ------------------------------------------------------------------ misc
 class TestInfrastructure:
     def test_is_sim_path_classification(self):
