@@ -9,13 +9,14 @@ prints the paper-style rows/series, and persists them under
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 __all__ = ["report", "run_once", "edge_speed_map", "congested_capacity",
-           "RESULTS_DIR"]
+           "sampling_footer", "RESULTS_DIR"]
 
 
 def congested_capacity(model, coeff=1.5, max_util=0.9):
@@ -58,9 +59,30 @@ def edge_speed_map(app):
             if app.zone_of(name) == "edge"}
 
 
-def report(name: str, text: str) -> str:
-    """Print a figure/table reproduction and persist it to results/."""
+def sampling_footer(sampling: dict | None = None,
+                    seed: int | None = None) -> str:
+    """One provenance line for a result artifact: the trace-sampling
+    configuration (and scenario seed, when one exists) that produced
+    the numbers above it.  Defaults to the unsampled configuration so
+    every artifact states its sampling mode explicitly."""
+    desc = dict(sampling) if sampling else {"mode": "unsampled",
+                                            "rate": 1.0}
+    if seed is not None:
+        desc["scenario_seed"] = seed
+    return "sampling: " + json.dumps(desc, sort_keys=True)
+
+
+def report(name: str, text: str, sampling: dict | None = None,
+           seed: int | None = None) -> str:
+    """Print a figure/table reproduction and persist it to results/.
+
+    Every artifact carries a trailing provenance line recording the
+    trace-sampling configuration (``unsampled`` unless the benchmark
+    attached a :class:`repro.tracing.TraceSampler`) and, when given,
+    the scenario seed — sampled and unsampled artifacts must never be
+    confusable after the fact."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = text + "\n" + sampling_footer(sampling, seed)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n===== {name} =====")

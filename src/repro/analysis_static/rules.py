@@ -138,6 +138,14 @@ ALL_RULES: Dict[str, tuple] = {
         "fix the typo or drop the suppression; an unknown id silently "
         "suppresses nothing",
     ),
+    "SIM007": (
+        "sampling-unsafe aggregation over the trace buffer: len() or "
+        "slicing on a collector's .traces treats the stored window as "
+        "the full population",
+        "the buffer is ring-bounded and may be head-sampled — use "
+        "total_collected/status_counts for exact counts and "
+        "traces_since(cursor) for incremental reads",
+    ),
     "CAP001": (
         "tier saturated at the declared load: utilization >= 1 before "
         "the first simulated event",

@@ -31,6 +31,15 @@ and *simulated-time discipline*:
     ``now``/``*time*``/``deadline``/``*_at``).  Simulated timestamps
     are accumulated floats; exact equality is only safe for sentinels
     (``float("inf")``) and must then be suppressed explicitly.
+``SIM007``
+    Sampling-unsafe aggregation over a trace buffer: ``len(x.traces)``
+    or ``x.traces[a:b]`` treats the collector's stored window as the
+    full request population.  The buffer is ring-bounded and may be
+    head-sampled, so counts must come from ``total_collected`` /
+    ``status_counts`` and incremental consumers must use
+    ``traces_since(cursor)``.  Warning severity: iterating the buffer
+    for trace *inspection* is fine; using its length or positions as
+    population statistics is the hazard.
 
 Scope: SIM002 and the class-state half of SIM004 apply only to
 *simulation packages* (``sim``, ``core``, ``cluster``, ``resilience``,
@@ -54,6 +63,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from .rules import (
     Finding,
+    Severity,
     filter_suppressed,
     parse_suppressions,
     unknown_suppressions,
@@ -185,10 +195,11 @@ class _SimLintVisitor(ast.NodeVisitor):
         self.imports = _ImportTracker()
 
     # -- helpers --------------------------------------------------------
-    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+    def _flag(self, code: str, node: ast.AST, message: str,
+              severity: str = Severity.ERROR) -> None:
         self.findings.append(Finding(
             code=code, message=message, path=self.path,
-            line=getattr(node, "lineno", 0)))
+            line=getattr(node, "lineno", 0), severity=severity))
 
     def _is_setish(self, node: ast.AST) -> bool:
         """Syntactically evident unordered-set expression."""
@@ -246,6 +257,33 @@ class _SimLintVisitor(ast.NodeVisitor):
         if isinstance(node.func, ast.Name) and \
                 node.func.id in _ORDER_SENSITIVE_WRAPPERS and node.args:
             self._check_iteration(node.args[0])
+        if isinstance(node.func, ast.Name) and node.func.id == "len" \
+                and node.args and self._is_trace_buffer(node.args[0]):
+            self._flag(
+                "SIM007",
+                node,
+                "len() on a trace buffer counts the ring-bounded, "
+                "possibly head-sampled window, not the requests — use "
+                "total_collected / status_counts",
+                severity=Severity.WARNING)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_trace_buffer(node: ast.AST) -> bool:
+        """``<expr>.traces`` — a collector's bounded span storage."""
+        return isinstance(node, ast.Attribute) and node.attr == "traces"
+
+    # -- SIM007: positional reads of the trace buffer ------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_trace_buffer(node.value) and \
+                isinstance(node.slice, ast.Slice):
+            self._flag(
+                "SIM007",
+                node,
+                "slicing a trace buffer by position breaks under ring "
+                "eviction and head sampling — use traces_since(cursor) "
+                "for incremental reads",
+                severity=Severity.WARNING)
         self.generic_visit(node)
 
     def _check_call(self, node: ast.Call, resolved: str) -> None:

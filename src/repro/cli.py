@@ -16,6 +16,17 @@ Commands
     ``--delay``/``--slow`` inject tier faults to provoke one;
     ``--json`` emits the machine-readable episode report instead of
     the rendered tables.
+``report critical-path APP``
+    Aggregated per-tier critical-path breakdown over one run's traces:
+    presence on the path, p50/p95/p99 share of end-to-end latency, and
+    the exclusive vs. blocked split of each tier's self time — "which
+    tier's speedup moves the tail" from one command.
+``profile APP``
+    Run one scenario with the simulator flight recorder attached and
+    print where the *simulator's* wall time goes: per-event-type engine
+    loop attribution plus scoped sections (collection, exporters).
+    ``--out`` writes machine-readable ``profile.json``;
+    ``--sample-rate`` profiles the sampled-tracing configuration.
 ``predict [--scenario NAME]``
     Train a violation predictor on seeded runs of a ramped-fault
     scenario, evaluate it on held-out seeds (precision / recall /
@@ -46,7 +57,7 @@ Commands
     (the Fig. 4-8 diagrams).
 ``lint [PATHS]``
     Run the simulation-safety static analysis (``simlint`` rule codes
-    SIM001-SIM006), the topology validator over the registered
+    SIM001-SIM007), the topology validator over the registered
     application graphs (TOPO001-TOPO006, including region pins), and
     the fault-schedule validators (FAULT001-FAULT004, including
     dangling region targets); non-zero exit on findings.
@@ -130,6 +141,23 @@ def _resilience_policy(args):
         breaker=BreakerConfig() if args.breakers else None)
 
 
+def _sample_rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError("must be in (0, 1]")
+    return value
+
+
+def _sampler_from_args(args):
+    """Build a TraceSampler from ``--sample-rate``/``--sample-seed``,
+    or None when sampling is off (rate absent or 1.0)."""
+    rate = getattr(args, "sample_rate", None)
+    if rate is None or rate >= 1.0:
+        return None
+    from .tracing.sampling import TraceSampler
+    return TraceSampler(rate, seed=getattr(args, "sample_seed", 0))
+
+
 def _cmd_simulate(args) -> int:
     app = build_app(args.app)
     replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
@@ -138,10 +166,11 @@ def _cmd_simulate(args) -> int:
     if args.metrics_out or args.traces_out:
         from .obs import MetricsRegistry
         metrics = MetricsRegistry(scrape_period=args.scrape_period)
+    sampler = _sampler_from_args(args)
     result = simulate(app, qps=args.qps, duration=args.duration,
                       n_machines=args.machines, replicas=replicas,
                       seed=args.seed, default_policy=policy,
-                      metrics=metrics)
+                      metrics=metrics, sampler=sampler)
     rows = [
         ["offered load (QPS)", f"{args.qps:g}"],
         ["throughput (req/s)", f"{result.throughput():.1f}"],
@@ -163,6 +192,13 @@ def _cmd_simulate(args) -> int:
     dropped = result.collector.dropped_traces
     if dropped:
         rows.append(["dropped traces", str(dropped)])
+    if sampler is not None:
+        rows += [
+            ["trace sampling", f"rate={sampler.rate:g} "
+                               f"seed={sampler.seed}"],
+            ["effective sample size",
+             str(result.collector.effective_sample_size)],
+        ]
     print(format_table(["metric", "value"], rows,
                        title=f"{app.name} measurement"))
     if args.metrics_out:
@@ -219,6 +255,7 @@ def _cmd_report_qos(args) -> int:
     result = simulate(app, qps=args.qps, duration=args.duration,
                       n_machines=args.machines, replicas=replicas,
                       seed=args.seed, metrics=MetricsRegistry(),
+                      sampler=_sampler_from_args(args),
                       setup=inject if (args.delay or args.slow)
                       else None)
     report = attribute_qos_violations(
@@ -230,6 +267,91 @@ def _cmd_report_qos(args) -> int:
                          allow_nan=False))
     else:
         print(report.render())
+    return 0
+
+
+def _cmd_report_critical_path(args) -> int:
+    from .tracing.analysis import critical_path_breakdown
+    app = build_app(args.app)
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    result = simulate(app, qps=args.qps, duration=args.duration,
+                      n_machines=args.machines, replicas=replicas,
+                      seed=args.seed, sampler=_sampler_from_args(args))
+    collector = result.collector
+    traces = [t for t in collector.traces
+              if t.ok and t.start >= result.warmup]
+    if not traces:
+        print("error: no successful post-warmup traces to analyze",
+              file=sys.stderr)
+        return 1
+    breakdown = critical_path_breakdown(traces)
+    if args.json:
+        import json
+        payload = {
+            "app": app.name, "qps": args.qps,
+            "duration": args.duration, "seed": args.seed,
+            "traces_analyzed": len(traces),
+            "sampling": collector.sampling_description(),
+            "services": breakdown,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [[svc,
+             f"{row['presence']:.1%}",
+             f"{row['share_p50']:.1%}",
+             f"{row['share_p95']:.1%}",
+             f"{row['share_p99']:.1%}",
+             f"{row['mean_exclusive'] * 1e3:.3f}",
+             f"{row['mean_blocked'] * 1e3:.3f}"]
+            for svc, row in sorted(
+                breakdown.items(),
+                key=lambda item: -item[1]["share_p95"])]
+    title = (f"{app.name} critical-path breakdown "
+             f"({len(traces)} traces")
+    desc = collector.sampling_description()
+    if desc["mode"] != "unsampled":
+        title += (f", head-sampled rate={desc['rate']:g} "
+                  f"n={desc['effective_sample_size']}")
+    title += ")"
+    print(format_table(
+        ["service", "on path", "share p50", "share p95", "share p99",
+         "excl (ms)", "blocked (ms)"], rows, title=title))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    if args.report_kind == "critical-path":
+        return _cmd_report_critical_path(args)
+    return _cmd_report_qos(args)
+
+
+def _cmd_profile(args) -> int:
+    from .obs.profile import profile_simulation
+    result, recorder = profile_simulation(
+        args.app, qps=args.qps, duration=args.duration,
+        machines=args.machines, seed=args.seed,
+        sample_rate=args.sample_rate, sample_seed=args.sample_seed)
+    print(recorder.render(top=args.top))
+    collector = result.collector
+    desc = collector.sampling_description()
+    print(f"\nrun: {collector.total_collected} requests, "
+          f"{len(collector.traces)} traces stored, "  # simlint: disable=SIM007
+          f"sampling={desc['mode']} (rate={desc['rate']:g})")
+    if args.out:
+        import json
+        payload = {
+            "profile": recorder.to_dict(),
+            "scenario": {
+                "app": args.app, "qps": args.qps,
+                "duration": args.duration, "machines": args.machines,
+                "seed": args.seed,
+            },
+            "sampling": desc,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"profile written to {args.out}")
     return 0
 
 
@@ -498,6 +620,18 @@ def _cmd_lint(args) -> int:
     return lint_main(forwarded)
 
 
+def _add_sampling_flags(parser) -> None:
+    parser.add_argument(
+        "--sample-rate", type=_sample_rate, default=None,
+        metavar="RATE",
+        help="deterministic head-sampling rate for traces in (0, 1]; "
+             "exact counters stay unsampled, percentiles are computed "
+             "on the kept subset, throughput is weight-corrected")
+    parser.add_argument(
+        "--sample-seed", type=int, default=0, metavar="SEED",
+        help="sampling seed (independent of the simulation seed)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -529,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write OTLP JSON trace dump to FILE")
     p.add_argument("--scrape-period", type=_positive_float, default=1.0,
                    help="metrics scrape cadence in sim seconds")
+    _add_sampling_flags(p)
 
     p = sub.add_parser(
         "report", help="post-run analysis reports")
@@ -557,6 +692,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multiply one tier's CPU work (repeatable)")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable episode report")
+    _add_sampling_flags(p)
+
+    p = report_sub.add_parser(
+        "critical-path",
+        help="aggregated per-tier critical-path breakdown")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=100.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable breakdown")
+    _add_sampling_flags(p)
+
+    p = sub.add_parser(
+        "profile", help="flight-record the simulator's own runtime")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=80.0)
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--top", type=_nonnegative_int, default=12,
+                   help="rows per attribution table")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write machine-readable profile JSON to FILE")
+    _add_sampling_flags(p)
 
     p = sub.add_parser(
         "predict", help="train/evaluate online violation prediction")
@@ -688,7 +849,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
     "simulate": _cmd_simulate,
-    "report": _cmd_report_qos,
+    "report": _cmd_report,
+    "profile": _cmd_profile,
     "predict": _cmd_predict,
     "chaos": _cmd_chaos,
     "region": _cmd_region,

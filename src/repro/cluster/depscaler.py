@@ -94,8 +94,8 @@ class DependencyAwareAutoscaler:
 
     # -- internals -------------------------------------------------------
     def _recent_traces(self):
-        new = self.collector.traces[self._seen_traces:]
-        self._seen_traces = len(self.collector.traces)
+        new, self._seen_traces = self.collector.traces_since(
+            self._seen_traces)
         return new
 
     def _qos_violated(self, traces) -> bool:

@@ -65,8 +65,11 @@ class ExperimentResult:
 
     # -- throughput -------------------------------------------------------
     def throughput(self) -> float:
-        """Completed end-to-end requests per second post-warmup."""
-        return self.collector.end_to_end.throughput(
+        """Completed end-to-end requests per second post-warmup.
+
+        Routed through the collector so the estimate is weight-corrected
+        when a trace sampler is attached."""
+        return self.collector.throughput(
             start=self.warmup, end=self.duration)
 
     def completion_ratio(self) -> float:
@@ -207,6 +210,8 @@ def simulate(app: Application,
              default_policy: Optional[object] = None,
              shedder: Optional[object] = None,
              setup: Optional[Callable[[Deployment], None]] = None,
+             sampler: Optional[object] = None,
+             keep_traces: Optional[int] = None,
              **kwargs) -> ExperimentResult:
     """One-call convenience: build env + cluster + deployment and run.
 
@@ -214,7 +219,12 @@ def simulate(app: Application,
     configuration (:mod:`repro.resilience`) through to the deployment.
     ``setup`` runs against the fresh deployment before load starts —
     the hook for fault injection (``slow_down_service``, ``delay_
-    service``, ...) and for scheduling mid-run events on its env."""
+    service``, ...) and for scheduling mid-run events on its env.
+
+    ``sampler`` (a :class:`~repro.tracing.sampling.TraceSampler`) and
+    ``keep_traces`` configure the deployment's trace collector:
+    deterministic head sampling of span storage/recorders/metric
+    histograms, and the ring-buffer cap on stored traces."""
     env = Environment()
     cluster = Cluster.homogeneous(env, platform, n_machines)
     if edge_machines > 0:
@@ -225,10 +235,14 @@ def simulate(app: Application,
         cluster = cluster.merge(edge)
     if freq_ghz is not None:
         cluster.set_frequency(freq_ghz)
+    collector = None
+    if sampler is not None or keep_traces is not None:
+        collector = TraceCollector(sampler=sampler) if keep_traces is None \
+            else TraceCollector(keep_traces=keep_traces, sampler=sampler)
     deployment = Deployment(env, app, cluster, replicas=replicas,
                             cores=cores, seed=seed, policies=policies,
                             default_policy=default_policy,
-                            shedder=shedder)
+                            shedder=shedder, collector=collector)
     if setup is not None:
         setup(deployment)
     return run_experiment(deployment, qps, duration, seed=seed + 1,

@@ -2,6 +2,7 @@
 attribution, and standard exporters (Sec. 7's monitoring surface)."""
 
 from .exporters import to_prometheus_text, traces_to_otlp_json
+from .profile import FlightRecorder, profile_simulation
 from .instrument import (
     instrument_autoscaler,
     instrument_deployment,
@@ -42,6 +43,8 @@ __all__ = [
     "ViolationEpisode",
     "attribute_qos_violations",
     "detect_violation_windows",
+    "FlightRecorder",
+    "profile_simulation",
     "to_prometheus_text",
     "traces_to_otlp_json",
 ]

@@ -144,6 +144,12 @@ class QoSReport:
     window: float
     duration: float
     episodes: List[ViolationEpisode] = field(default_factory=list)
+    #: Trace-sampling provenance of the underlying collector (see
+    #: :meth:`TraceCollector.sampling_description
+    #: <repro.tracing.collector.TraceCollector.sampling_description>`):
+    #: mode, rate, and the effective sample size behind every
+    #: percentile in this report.
+    sampling: Optional[dict] = None
 
     @property
     def violated(self) -> bool:
@@ -163,6 +169,7 @@ class QoSReport:
             "violated": self.violated,
             "top_culprit": self.top_culprit(),
             "episodes": [ep.to_dict() for ep in self.episodes],
+            "sampling": self.sampling,
         }
 
     def top_culprit(self) -> Optional[str]:
@@ -178,6 +185,14 @@ class QoSReport:
         lines = [f"QoS attribution: target p{self.p * 100:g} <= "
                  f"{self.target * 1e3:.1f} ms, "
                  f"{self.window:g}s windows over {self.duration:g}s"]
+        if self.sampling is not None \
+                and self.sampling.get("mode") != "unsampled":
+            lines.append(
+                f"traces head-sampled at rate="
+                f"{self.sampling['rate']:g} (sample seed "
+                f"{self.sampling['seed']}); percentiles computed on "
+                f"n={self.sampling['effective_sample_size']} kept "
+                f"requests, counts exact")
         if not self.episodes:
             lines.append("no QoS violations detected")
             return "\n".join(lines)
@@ -342,7 +357,10 @@ def attribute_qos_violations(result, target: Optional[float] = None,
     if baseline is None:
         baseline = result.warmup
     report = QoSReport(target=target, p=p, window=window,
-                       duration=result.duration)
+                       duration=result.duration,
+                       sampling=collector.sampling_description()
+                       if hasattr(collector, "sampling_description")
+                       else None)
     windows = detect_violation_windows(
         collector.end_to_end, target, p=p, window=window,
         start=result.warmup, end=result.duration)

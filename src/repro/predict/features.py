@@ -159,8 +159,9 @@ class FeatureTracker:
         exclusive: Dict[str, float] = {}
         block: Dict[str, float] = {}
         span_time: Dict[str, float] = {}
-        traces = self.collector.traces
-        for trace in traces[self._seen_traces:]:
+        fresh, self._seen_traces = self.collector.traces_since(
+            self._seen_traces)
+        for trace in fresh:
             for span in trace.root.walk():
                 excl = span.exclusive_time()
                 blk = span.block_time
@@ -180,7 +181,6 @@ class FeatureTracker:
                                        + blk)
                 span_time[span.service] = (
                     span_time.get(span.service, 0.0) + span.duration)
-        self._seen_traces = len(traces)
         return exclusive, block, span_time
 
     def _breaker_open_frac(self, service: str) -> float:

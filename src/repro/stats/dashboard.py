@@ -92,9 +92,9 @@ def render_dashboard(result, bucket: float = None, top: int = 8) -> str:
     dropped = getattr(collector, "dropped_traces", 0)
     if dropped:
         lines.append(
-            f"WARNING: {dropped} traces dropped by the keep_traces cap "
+            f"WARNING: {dropped} traces evicted by the keep_traces ring "
             f"({collector.keep_traces}); trace-derived panels cover "
-            f"only the first {len(collector.traces)} traces")
+            f"only the most recent {len(collector.traces)} traces")  # simlint: disable=SIM007
 
     # Headline numbers.  A run can legitimately finish with zero
     # successful completions (all shed/errored, or no load at all);

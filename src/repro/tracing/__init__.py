@@ -1,12 +1,14 @@
 """Distributed tracing substrate (Sec. 3.7 of the paper)."""
 
 from .analysis import (
+    critical_path_breakdown,
     critical_path_services,
     network_share,
     per_service_breakdown,
     per_service_exclusive,
 )
 from .collector import TraceCollector
+from .sampling import TraceSampler
 from .export import (
     SCHEMA_VERSION,
     span_records,
@@ -20,9 +22,11 @@ __all__ = [
     "Span",
     "Trace",
     "TraceCollector",
+    "TraceSampler",
     "span_records",
     "traces_from_json",
     "traces_to_json",
+    "critical_path_breakdown",
     "critical_path_services",
     "network_share",
     "per_service_breakdown",

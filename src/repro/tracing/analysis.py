@@ -19,6 +19,7 @@ __all__ = [
     "per_service_breakdown",
     "per_service_exclusive",
     "critical_path_services",
+    "critical_path_breakdown",
 ]
 
 
@@ -100,3 +101,74 @@ def critical_path_services(traces: Iterable[Trace]) -> Dict[str, float]:
     if count == 0:
         raise ValueError("no traces")
     return {service: n / count for service, n in hits.items()}
+
+
+def critical_path_breakdown(traces: Iterable[Trace]) -> Dict[str, dict]:
+    """Aggregated per-tier critical-path attribution.
+
+    Answers "which tier's speedup moves the tail" the way Ditto builds
+    its dependency clones: walk each trace's critical path root→leaf
+    and charge every tier its **self time on the path** — the stretch
+    of its span not covered by the next critical child (the leaf keeps
+    its whole duration).  Self times along one path sum to the trace's
+    end-to-end latency, so per-tier *shares* are true fractions of the
+    user-visible latency.
+
+    Returns ``service -> dict`` with:
+
+    * ``presence`` — fraction of traces whose critical path touches the
+      tier (exactly :func:`critical_path_services`);
+    * ``share_p50`` / ``share_p95`` / ``share_p99`` — percentiles of
+      the tier's share of end-to-end latency, over the traces where it
+      is on the path;
+    * ``mean_self`` — mean self time on the path (seconds, over traces
+      where present);
+    * ``mean_exclusive`` / ``mean_blocked`` — the split of that self
+      time into work the tier did itself vs. time its critical span
+      sat queued for a worker slot or connection.  A tier with a high
+      share but mostly *blocked* self time is a victim of backpressure,
+      not a culprit — the distinction every capacity decision needs.
+    """
+    shares: Dict[str, list] = defaultdict(list)
+    self_times: Dict[str, list] = defaultdict(list)
+    exclusive: Dict[str, float] = defaultdict(float)
+    blocked: Dict[str, float] = defaultdict(float)
+    presence: Dict[str, int] = defaultdict(int)
+    count = 0
+    for trace in traces:
+        count += 1
+        path = trace.critical_path()
+        total = path[0].duration
+        per_service_self: Dict[str, float] = defaultdict(float)
+        for i, span in enumerate(path):
+            nxt = path[i + 1].duration if i + 1 < len(path) else 0.0
+            self_time = max(0.0, span.duration - nxt)
+            per_service_self[span.service] += self_time
+            # The blocked part of the critical span cannot exceed its
+            # self time on the path (block precedes the downstream
+            # call, so it is never covered by the critical child).
+            blk = min(span.block_time, self_time)
+            blocked[span.service] += blk
+            exclusive[span.service] += self_time - blk
+        for service, self_time in per_service_self.items():
+            presence[service] += 1
+            self_times[service].append(self_time)
+            shares[service].append(
+                self_time / total if total > 0 else 0.0)
+    if count == 0:
+        raise ValueError("no traces")
+    out: Dict[str, dict] = {}
+    for service, values in shares.items():
+        arr = np.asarray(values, dtype=float)
+        n = presence[service]
+        out[service] = {
+            "presence": n / count,
+            "share_p50": float(np.quantile(arr, 0.50)),
+            "share_p95": float(np.quantile(arr, 0.95)),
+            "share_p99": float(np.quantile(arr, 0.99)),
+            "mean_self": float(np.mean(self_times[service])),
+            "mean_exclusive": exclusive[service] / n,
+            "mean_blocked": blocked[service] / n,
+            "count": n,
+        }
+    return out

@@ -12,14 +12,33 @@ and counted per status, but **only successful completions feed the
 latency recorders**: a request that was shed in 50 microseconds was not
 served, and letting it into the percentile stream would make a melting
 system look fast.
+
+Two orthogonal mechanisms bound the collector's cost:
+
+* ``keep_traces`` is a **ring buffer** cap on stored span trees: once
+  full, storing a new trace evicts the oldest.  Evictions only affect
+  trace-derived analyses (attribution, critical paths, exports); the
+  exact counters and every latency recorder keep working at
+  ``keep_traces=0``.
+* An optional :class:`~repro.tracing.sampling.TraceSampler` applies
+  deterministic head sampling to everything whose cost is per-trace:
+  storage, latency recorders, and per-span metric pushes.  Exact
+  counters (``total_collected``, ``status_counts``, ``total_retries``)
+  are never sampled, and rate-derived quantities such as
+  :meth:`throughput` are weight-corrected.  Head-dropped traces that
+  match a tail rule (failed / outlier) are still *stored* — annotated
+  with ``repro.sample.rescued`` — but excluded from the recorders so
+  percentiles stay unbiased.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, List, Optional
+from collections import Counter, defaultdict, deque
+from itertools import islice
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..stats.percentiles import LatencyRecorder
+from .sampling import TraceSampler
 from .span import Trace
 
 __all__ = ["TraceCollector"]
@@ -28,13 +47,24 @@ __all__ = ["TraceCollector"]
 class TraceCollector:
     """Accumulates traces and per-service/per-operation statistics."""
 
-    def __init__(self, keep_traces: int = 200_000, warmup: float = 0.0):
+    def __init__(self, keep_traces: int = 200_000, warmup: float = 0.0,
+                 sampler: Optional[TraceSampler] = None):
         if keep_traces < 0:
             raise ValueError("keep_traces must be >= 0")
         self.keep_traces = keep_traces
         self.warmup = warmup
-        self.traces: List[Trace] = []
+        self.sampler = sampler
+        #: Multiplier turning sampled counts into population estimates.
+        self.sample_weight = 1.0 if sampler is None else sampler.weight
+        self.traces: Deque[Trace] = deque(maxlen=keep_traces)
         self.total_collected = 0
+        #: Traces ever handed to the ring buffer (kept or since evicted).
+        self.total_stored = 0
+        #: Head-sampled-out traces that no tail rule rescued; these were
+        #: counted but never stored.
+        self.unsampled_traces = 0
+        #: Head-dropped traces stored anyway by a tail rule.
+        self.tail_rescued = 0
         #: Completions per terminal status (``ok``, ``timeout``, ...).
         self.status_counts: Counter = Counter()
         #: Total retries observed across all collected traces.
@@ -54,12 +84,56 @@ class TraceCollector:
 
     @property
     def dropped_traces(self) -> int:
-        """Traces counted but not retained (the ``keep_traces`` cap).
+        """Traces stored and later evicted by the ring buffer (plus
+        stores refused outright at ``keep_traces=0``).
 
         Trace-derived analyses — attribution, critical paths, exports —
-        only see the retained prefix; a non-zero value here means they
-        run on truncated inputs."""
-        return self.total_collected - len(self.traces)
+        only see the retained window; a non-zero value here means they
+        run on truncated inputs.  Deliberately head-sampled-out traces
+        are *not* drops; they are in :attr:`unsampled_traces`."""
+        return self.total_stored - len(self.traces)  # simlint: disable=SIM007
+
+    @property
+    def effective_sample_size(self) -> int:
+        """Successful completions actually feeding the percentile
+        estimators.  Equal to :attr:`ok_count` when unsampled; under
+        head sampling it is the number of head-kept ok traces, the
+        honest ``n`` for any confidence statement about the tables."""
+        return self.end_to_end.count
+
+    def sampling_description(self) -> dict:
+        """JSON-safe sampling provenance for reports and artifacts."""
+        if self.sampler is None:
+            return {"mode": "unsampled", "rate": 1.0}
+        desc = self.sampler.describe()
+        desc["mode"] = "head-sampled"
+        desc["effective_sample_size"] = self.effective_sample_size
+        desc["unsampled_traces"] = self.unsampled_traces
+        desc["tail_rescued"] = self.tail_rescued
+        return desc
+
+    def traces_since(self, cursor: int) -> Tuple[List[Trace], int]:
+        """Stored traces the caller has not consumed yet.
+
+        ``cursor`` is the value returned by the previous call (start at
+        0).  Returns ``(new_traces, next_cursor)``.  Traces evicted by
+        the ring before being consumed are silently skipped — callers
+        doing incremental analysis get the freshest window, which is
+        what a bounded buffer can honestly provide."""
+        stored = self.total_stored
+        unseen = stored - cursor
+        if unseen <= 0:
+            return [], stored
+        if unseen > len(self.traces):  # simlint: disable=SIM007
+            unseen = len(self.traces)  # simlint: disable=SIM007
+        # Walk from the right so the cost is O(new), not O(buffer).
+        fresh = list(islice(reversed(self.traces), unseen))
+        fresh.reverse()
+        return fresh, stored
+
+    def _store(self, trace: Trace) -> None:
+        self.total_stored += 1
+        self.traces.append(trace)
 
     def collect(self, trace: Trace,
                 latency_override: Optional[float] = None) -> None:
@@ -69,13 +143,29 @@ class TraceCollector:
         the trace's own duration in the end-to-end/per-operation
         recorders — hedged requests report the *first* completion even
         when the winning attempt started late."""
-        self.total_collected += 1
+        trace_number = self.total_collected
+        self.total_collected = trace_number + 1
         self.status_counts[trace.status] += 1
         self.total_retries += trace.retry_count()
-        if len(self.traces) < self.keep_traces:
-            self.traces.append(trace)
+
+        latency = trace.latency if latency_override is None \
+            else latency_override
+        sampler = self.sampler
+        if sampler is not None and not sampler.head_keep(trace_number):
+            reason = sampler.tail_reason(trace.status, latency)
+            if reason is not None:
+                trace.root.annotations["repro.sample.rescued"] = reason
+                self.tail_rescued += 1
+                self._store(trace)
+            else:
+                self.unsampled_traces += 1
+            if self._metrics is not None:
+                self._push_exact_metrics(trace)
+            return
+
+        self._store(trace)
         if self._metrics is not None:
-            self._push_metrics(trace, latency_override)
+            self._push_metrics(trace, latency)
         if trace.status != "ok":
             # Failed/shed requests are counted, not timed: their spans
             # still feed per-service recorders when they individually
@@ -86,16 +176,16 @@ class TraceCollector:
                                                           span.duration)
             return
         finish = trace.root.end
-        latency = trace.latency if latency_override is None \
-            else latency_override
         self.end_to_end.record(finish, latency)
         self.per_operation[trace.operation].record(finish, latency)
         for span in trace.root.walk():
             self.per_service[span.service].record(span.end, span.duration)
 
-    def _push_metrics(self, trace: Trace,
-                      latency_override: Optional[float]) -> None:
-        """Feed one trace into the attached metrics registry."""
+    def _push_exact_metrics(self, trace: Trace) -> None:
+        """The never-sampled counter pushes: completion/retry totals.
+
+        This is the whole cost of a head-dropped trace — no span walk,
+        no histogram observations."""
         reg = self._metrics
         reg.counter("repro_requests_total",
                     "End-to-end completions by operation and status",
@@ -104,19 +194,24 @@ class TraceCollector:
         reg.counter("repro_retries_total",
                     "Retries spent across all call trees").labels(
         ).inc(trace.retry_count())
+
+    def _push_metrics(self, trace: Trace, latency: float) -> None:
+        """Feed one head-kept trace into the attached metrics registry."""
+        self._push_exact_metrics(trace)
+        reg = self._metrics
         reg.counter("repro_dropped_traces_total",
-                    "Traces dropped by the keep_traces cap").labels(
+                    "Traces evicted by the keep_traces ring").labels(
         ).set_total(self.dropped_traces)
         if trace.ok:
-            latency = trace.latency if latency_override is None \
-                else latency_override
             reg.histogram(
                 "repro_request_latency_seconds",
-                "End-to-end latency of successful requests",
+                "End-to-end latency of successful requests (head-sampled "
+                "when a sampler is attached)",
                 ("operation",)).labels(
                 operation=trace.operation).observe(latency)
         rpc = reg.counter("repro_rpc_total",
-                          "Server-side RPC spans by tier and status",
+                          "Server-side RPC spans by tier and status "
+                          "(head-sampled when a sampler is attached)",
                           ("service", "status"))
         span_hist = reg.histogram("repro_span_latency_seconds",
                                   "Per-tier span durations",
@@ -129,12 +224,12 @@ class TraceCollector:
 
     @property
     def ok_count(self) -> int:
-        """Successful end-to-end completions."""
+        """Successful end-to-end completions (exact, never sampled)."""
         return self.status_counts["ok"]
 
     @property
     def failure_count(self) -> int:
-        """Unsuccessful completions (any non-``ok`` status)."""
+        """Unsuccessful completions (any non-``ok`` status; exact)."""
         return self.total_collected - self.status_counts["ok"]
 
     def service_tail(self, service: str, p: float = 0.99,
@@ -145,13 +240,20 @@ class TraceCollector:
 
     def tail(self, p: float = 0.99, start: Optional[float] = None,
              end: Optional[float] = None) -> float:
-        """End-to-end tail latency over a time window."""
+        """End-to-end tail latency over a time window.
+
+        Under head sampling this is the percentile of a uniform random
+        subset — unbiased, with sampling error shrinking as
+        :attr:`effective_sample_size` grows."""
         return self.end_to_end.tail(p, start, end)
 
     def throughput(self, start: Optional[float] = None,
                    end: Optional[float] = None) -> float:
-        """Successfully completed end-to-end requests per second."""
-        return self.end_to_end.throughput(start, end)
+        """Successfully completed end-to-end requests per second.
+
+        Weight-corrected under sampling: each recorded completion
+        stands for ``1/rate`` requests."""
+        return self.end_to_end.throughput(start, end) * self.sample_weight
 
     def services(self) -> List[str]:
         """All services seen so far."""

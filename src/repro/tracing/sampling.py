@@ -1,0 +1,120 @@
+"""Deterministic trace sampling.
+
+Full-fidelity tracing records every span of every request.  That is the
+right default for small runs, but it is also the single largest
+observability cost at scale (see ``benchmarks/bench_perf_engine.py``):
+span trees, per-operation recorders, metric histograms, and exporters
+all do work proportional to the number of *kept* traces.  This module
+implements the standard production compromise — head-based sampling
+with tail-based rescue — with two properties the rest of the suite
+depends on:
+
+**Determinism.**  The head decision for trace number ``n`` is a pure
+function of ``(seed, n)``: the first 8 bytes of
+``sha256(f"{seed}:{n}")`` interpreted as a fraction of 2**64, kept iff
+below ``rate``.  No RNG stream is consumed, so enabling sampling does
+not perturb the simulation, and two same-seed runs keep byte-identical
+trace sets (the determinism tests assert this on the exported OTLP
+bytes).  Trace numbers are assigned in collection order, which is
+itself deterministic.
+
+**Statistical honesty.**  Sampling is applied *only* to what is
+inherently per-trace: span storage, latency recorders, and metric
+histograms.  Exact counters (request totals, status counts, retry
+totals) are never sampled.  Rate-derived quantities are corrected by
+``weight`` = 1/rate, and consumers annotate their effective sample
+size (see :meth:`TraceCollector.effective_sample_size
+<repro.tracing.collector.TraceCollector>`).  Tail-rescued traces
+(failures, latency outliers) are stored for inspection and exports but
+are **excluded** from the sampled estimators — including them would
+over-represent the tail and bias every percentile upward.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+__all__ = ["TraceSampler", "HEAD_KEPT", "TAIL_FAILED", "TAIL_SLOW"]
+
+#: Keep reasons, recorded per stored trace by the collector.
+HEAD_KEPT = "head"
+TAIL_FAILED = "tail:failed"
+TAIL_SLOW = "tail:slow"
+
+_HASH_DENOM = float(2 ** 64)
+
+
+class TraceSampler:
+    """Head-based deterministic sampler with tail-based rescue rules.
+
+    Parameters
+    ----------
+    rate:
+        Head sampling rate in ``(0, 1]``.  ``1.0`` keeps everything
+        (and ``weight`` is exactly 1, so estimators are untouched).
+    seed:
+        Sampling seed.  Distinct from the simulation seed on purpose:
+        re-sampling the same run at a different seed is a cheap way to
+        bound sampling error.
+    keep_failed:
+        Tail rule: always store traces whose root status is not "ok".
+    keep_slower_than:
+        Tail rule: always store traces whose end-to-end latency is at
+        or above this many seconds (``None`` disables the rule).
+    """
+
+    __slots__ = ("rate", "seed", "keep_failed", "keep_slower_than",
+                 "weight", "_prefix")
+
+    def __init__(self, rate: float, seed: int = 0, *,
+                 keep_failed: bool = True,
+                 keep_slower_than: Optional[float] = None):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {rate!r}")
+        if keep_slower_than is not None and keep_slower_than < 0:
+            raise ValueError(
+                f"keep_slower_than must be >= 0, got {keep_slower_than!r}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.keep_failed = bool(keep_failed)
+        self.keep_slower_than = keep_slower_than
+        self.weight = 1.0 / self.rate
+        self._prefix = f"{self.seed}:".encode()
+
+    # -- decisions -------------------------------------------------------
+    def head_keep(self, trace_number: int) -> bool:
+        """Deterministic head decision for the ``trace_number``-th trace."""
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            self._prefix + str(trace_number).encode()).digest()
+        return int.from_bytes(digest[:8], "big") / _HASH_DENOM < self.rate
+
+    def tail_reason(self, status: str, latency: float) -> Optional[str]:
+        """Tail-rescue reason for a head-dropped trace, or ``None``.
+
+        ``status`` is the trace's root status, ``latency`` its
+        end-to-end latency in seconds.
+        """
+        if self.keep_failed and status != "ok":
+            return TAIL_FAILED
+        if (self.keep_slower_than is not None
+                and latency >= self.keep_slower_than):
+            return TAIL_SLOW
+        return None
+
+    # -- provenance ------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-safe configuration record for artifacts and reports."""
+        return {
+            "rate": self.rate,
+            "seed": self.seed,
+            "keep_failed": self.keep_failed,
+            "keep_slower_than": self.keep_slower_than,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceSampler(rate={self.rate}, seed={self.seed}, "
+                f"keep_failed={self.keep_failed}, "
+                f"keep_slower_than={self.keep_slower_than})")

@@ -87,9 +87,9 @@ def test_render_dashboard_warns_on_dropped_traces():
     result = simulate(build_app("banking"), qps=25, duration=4.0,
                       n_machines=2, seed=3)
     result.collector.keep_traces = len(result.collector.traces)
-    result.collector.total_collected += 7  # simulate 7 dropped
+    result.collector.total_stored += 7  # simulate 7 ring evictions
     text = render_dashboard(result)
-    assert "WARNING: 7 traces dropped" in text
+    assert "WARNING: 7 traces evicted by the keep_traces ring" in text
 
 
 def test_render_dashboard_prefers_registry_sparklines():

@@ -1,6 +1,7 @@
 """Deployment-runtime tests: placement, routing, blocking, offload."""
 
 import dataclasses
+from itertools import islice
 
 import pytest
 
@@ -167,5 +168,5 @@ def test_operation_mix_reaches_all_tiers():
     """Each completed trace touches web then cache exactly once."""
     dep = deploy(two_tier(), seed=12)
     result = run_experiment(dep, 100, duration=4.0, seed=13)
-    for trace in result.collector.traces[:100]:
+    for trace in islice(result.collector.traces, 100):
         assert trace.services() == ["web", "cache"]

@@ -19,7 +19,7 @@ from repro.analysis_static.rules import ALL_RULES, Finding, Severity
 CODE_RE = re.compile(r"^(SIM|TOPO|FAULT|CAP|DLINE|CFG)\d{3}$")
 
 EXPECTED_FAMILIES = {
-    "SIM": 6,     # source-level determinism hazards + SIM006 meta rule
+    "SIM": 7,     # determinism hazards + SIM006 meta + SIM007 sampling
     "TOPO": 6,    # service-graph structure
     "FAULT": 4,   # chaos schedules
     "CAP": 4,     # capacity at a declared load

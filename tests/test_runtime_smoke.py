@@ -1,5 +1,7 @@
 """Integration smoke tests: a tiny two-tier app end to end."""
 
+from itertools import islice
+
 import pytest
 
 from repro.analytic import AnalyticModel
@@ -53,7 +55,7 @@ def test_trace_structure_matches_call_tree():
 def test_span_times_accounted():
     result = simulate(two_tier_app(), qps=50, duration=5.0,
                       n_machines=2, seed=5)
-    for trace in result.collector.traces[:50]:
+    for trace in islice(result.collector.traces, 50):
         for span in trace.root.walk():
             # app + net + blocked can't exceed the span's wall time
             # (children overlap is extra, not less).

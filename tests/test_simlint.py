@@ -1,4 +1,4 @@
-"""Tests for the simlint AST rules (SIM001-SIM005) and the CLI."""
+"""Tests for the simlint AST rules (SIM001-SIM007) and the CLI."""
 
 import json
 import subprocess
@@ -292,6 +292,40 @@ class TestSim006UnknownSuppression:
     def test_sim006_itself_suppressible(self):
         assert lint("""
             x = 1  # simlint: disable=SIM006,BOGUS
+        """) == []
+
+
+# ---------------------------------------------------------------- SIM007
+class TestSim007SamplingUnsafeAggregation:
+    def test_len_of_trace_buffer_flagged_as_warning(self):
+        findings = lint("""
+            def served(collector):
+                return len(collector.traces)
+        """)
+        assert codes(findings) == ["SIM007"]
+        assert findings[0].severity == "warning"
+        assert "total_collected" in findings[0].message
+
+    def test_slice_of_trace_buffer_flagged(self):
+        findings = lint("""
+            def last_batch(collector):
+                return collector.traces[-100:]
+        """)
+        assert codes(findings) == ["SIM007"]
+        assert "traces_since" in findings[0].message
+
+    def test_iteration_and_len_of_other_lists_allowed(self):
+        assert lint("""
+            def inspect(collector, spans):
+                for trace in collector.traces:
+                    print(trace.operation)
+                return len(spans)
+        """) == []
+
+    def test_suppression_honored(self):
+        assert lint("""
+            def stored(collector):
+                return len(collector.traces)  # simlint: disable=SIM007
         """) == []
 
 

@@ -1,6 +1,7 @@
 """Tests for Zipkin-style trace export/import."""
 
 import json
+from itertools import islice
 
 import pytest
 
@@ -90,7 +91,7 @@ def test_retry_count_and_status_round_trip():
 def test_real_simulation_traces_round_trip():
     result = simulate(build_app("banking"), qps=20, duration=4.0,
                       n_machines=3, seed=41)
-    traces = result.collector.traces[:20]
+    traces = list(islice(result.collector.traces, 20))
     restored = traces_from_json(traces_to_json(traces))
     assert len(restored) == 20
     for orig, back in zip(traces, restored):

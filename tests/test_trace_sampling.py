@@ -1,0 +1,324 @@
+"""Deterministic trace sampling: the sampler's head/tail decisions,
+the sampled collector's exact-vs-estimated split, ring-buffer edge
+cases, and byte-stability of a sampled run's exported artifacts."""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.core.experiment import simulate
+from repro.obs import (
+    MetricsRegistry,
+    to_prometheus_text,
+    traces_to_otlp_json,
+)
+from repro.tracing import TraceCollector, TraceSampler
+from repro.tracing.analysis import critical_path_breakdown
+from repro.tracing.sampling import TAIL_FAILED, TAIL_SLOW
+from repro.tracing.span import Span, Trace
+
+
+def make_trace(num, status="ok", latency=0.010, operation="op"):
+    start = float(num)
+    root = Span("frontend", operation, start, end=start + latency,
+                status=status)
+    return Trace(operation, root)
+
+
+# ------------------------------------------------------------- sampler
+class TestTraceSampler:
+    def test_rate_bounds_validated(self):
+        for bad in (0.0, -0.1, 1.0001, 2.0):
+            with pytest.raises(ValueError):
+                TraceSampler(bad)
+
+    def test_negative_slow_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSampler(0.5, keep_slower_than=-1.0)
+
+    def test_rate_one_keeps_everything(self):
+        sampler = TraceSampler(1.0, seed=7)
+        assert sampler.weight == 1.0
+        assert all(sampler.head_keep(n) for n in range(500))
+
+    def test_head_decision_is_deterministic(self):
+        a = TraceSampler(0.2, seed=3)
+        b = TraceSampler(0.2, seed=3)
+        decisions = [a.head_keep(n) for n in range(2000)]
+        assert decisions == [b.head_keep(n) for n in range(2000)]
+
+    def test_kept_fraction_tracks_rate(self):
+        sampler = TraceSampler(0.2, seed=0)
+        kept = sum(sampler.head_keep(n) for n in range(10_000))
+        assert kept / 10_000 == pytest.approx(0.2, abs=0.02)
+
+    def test_different_seeds_keep_different_subsets(self):
+        a = TraceSampler(0.1, seed=0)
+        b = TraceSampler(0.1, seed=1)
+        kept_a = {n for n in range(5000) if a.head_keep(n)}
+        kept_b = {n for n in range(5000) if b.head_keep(n)}
+        assert kept_a != kept_b
+
+    def test_tail_reasons(self):
+        sampler = TraceSampler(0.5, keep_slower_than=1.0)
+        assert sampler.tail_reason("timeout", 0.01) == TAIL_FAILED
+        assert sampler.tail_reason("ok", 2.5) == TAIL_SLOW
+        assert sampler.tail_reason("ok", 0.01) is None
+        # Failure beats slowness in the reason ordering.
+        assert sampler.tail_reason("shed", 2.5) == TAIL_FAILED
+
+    def test_tail_rules_can_be_disabled(self):
+        sampler = TraceSampler(0.5, keep_failed=False)
+        assert sampler.tail_reason("error", 9.9) is None
+
+    def test_describe_is_json_safe_config(self):
+        desc = TraceSampler(0.25, seed=4, keep_slower_than=0.5).describe()
+        assert desc == {"rate": 0.25, "seed": 4, "keep_failed": True,
+                        "keep_slower_than": 0.5}
+
+
+# --------------------------------------------------- sampled collector
+class TestSampledCollector:
+    def test_exact_counters_survive_sampling(self):
+        sampler = TraceSampler(0.2, seed=3)
+        collector = TraceCollector(sampler=sampler)
+        for n in range(500):
+            status = "timeout" if n % 10 == 9 else "ok"
+            collector.collect(make_trace(n, status=status))
+        assert collector.total_collected == 500
+        assert collector.status_counts["ok"] == 450
+        assert collector.status_counts["timeout"] == 50
+        assert collector.failure_count == 50
+
+    def test_storage_partition_accounts_for_every_trace(self):
+        sampler = TraceSampler(0.2, seed=3, keep_failed=False)
+        collector = TraceCollector(sampler=sampler)
+        for n in range(500):
+            collector.collect(make_trace(n))
+        head_kept = sum(sampler.head_keep(n) for n in range(500))
+        assert collector.total_stored == head_kept
+        assert collector.unsampled_traces == 500 - head_kept
+        assert collector.tail_rescued == 0
+        assert collector.effective_sample_size == head_kept
+
+    def test_tail_rescued_failures_stored_but_not_timed(self):
+        # A rate this small head-keeps nothing in 100 traces with
+        # overwhelming probability at this seed (asserted below).
+        sampler = TraceSampler(1e-9, seed=0)
+        collector = TraceCollector(sampler=sampler)
+        for n in range(100):
+            collector.collect(make_trace(n, status="error"))
+        assert collector.tail_rescued == 100
+        assert collector.total_stored == 100
+        stored = list(collector.traces)
+        assert all(t.root.annotations["repro.sample.rescued"]
+                   == TAIL_FAILED for t in stored)
+        # Rescued traces never feed the estimators.
+        assert collector.effective_sample_size == 0
+        # ... but the exact failure counters see all of them.
+        assert collector.status_counts["error"] == 100
+
+    def test_slow_outliers_rescued(self):
+        sampler = TraceSampler(1e-9, seed=0, keep_slower_than=1.0)
+        collector = TraceCollector(sampler=sampler)
+        collector.collect(make_trace(0, latency=0.01))
+        collector.collect(make_trace(1, latency=3.0))
+        assert collector.tail_rescued == 1
+        [slow] = list(collector.traces)
+        assert slow.root.annotations["repro.sample.rescued"] == TAIL_SLOW
+        assert collector.effective_sample_size == 0
+
+    def test_throughput_is_weight_corrected(self):
+        sampler = TraceSampler(0.25, seed=1)
+        collector = TraceCollector(sampler=sampler)
+        for n in range(2000):
+            collector.collect(make_trace(n, latency=0.5))
+        assert collector.sample_weight == 4.0
+        raw = collector.end_to_end.throughput()
+        assert collector.throughput() == pytest.approx(raw * 4.0)
+        # The corrected estimate approximates the true rate: 2000
+        # completions over the ~2000 s span of finish times.
+        assert collector.throughput() == pytest.approx(1.0, rel=0.2)
+
+    def test_sampling_description_modes(self):
+        assert TraceCollector().sampling_description() == {
+            "mode": "unsampled", "rate": 1.0}
+        collector = TraceCollector(sampler=TraceSampler(0.5, seed=2))
+        for n in range(100):
+            collector.collect(make_trace(n))
+        desc = collector.sampling_description()
+        assert desc["mode"] == "head-sampled"
+        assert desc["rate"] == 0.5
+        assert desc["seed"] == 2
+        assert desc["effective_sample_size"] == \
+            collector.effective_sample_size
+        assert desc["unsampled_traces"] == collector.unsampled_traces
+
+    def test_exact_metric_pushes_identical_sampled_or_not(self):
+        def requests_total(registry):
+            text = to_prometheus_text(registry, now=1000.0)
+            return sorted(line for line in text.splitlines()
+                          if line.startswith("repro_requests_total{"))
+
+        full_reg, samp_reg = MetricsRegistry(), MetricsRegistry()
+        full = TraceCollector()
+        full.set_metrics(full_reg)
+        sampled = TraceCollector(sampler=TraceSampler(0.1, seed=5))
+        sampled.set_metrics(samp_reg)
+        for n in range(300):
+            status = "timeout" if n % 7 == 0 else "ok"
+            full.collect(make_trace(n, status=status))
+            sampled.collect(make_trace(n, status=status))
+        assert requests_total(full_reg) == requests_total(samp_reg)
+
+
+# ------------------------------------------------- ring-buffer bounds
+class TestRingBuffer:
+    def test_zero_capacity_keeps_counters_and_recorders(self):
+        collector = TraceCollector(keep_traces=0)
+        for n in range(50):
+            collector.collect(make_trace(n, latency=0.02))
+        assert len(collector.traces) == 0
+        assert collector.dropped_traces == 50
+        assert collector.total_collected == 50
+        assert collector.ok_count == 50
+        assert collector.tail(0.5) == pytest.approx(0.02)
+
+    def test_eviction_keeps_freshest_window(self):
+        collector = TraceCollector(keep_traces=5)
+        for n in range(12):
+            collector.collect(make_trace(n, operation=f"op{n}"))
+        assert len(collector.traces) == 5
+        assert collector.dropped_traces == 7
+        assert [t.operation for t in collector.traces] == \
+            [f"op{n}" for n in range(7, 12)]
+
+    def test_traces_since_incremental_cursor(self):
+        collector = TraceCollector(keep_traces=100)
+        for n in range(3):
+            collector.collect(make_trace(n, operation=f"op{n}"))
+        batch, cursor = collector.traces_since(0)
+        assert [t.operation for t in batch] == ["op0", "op1", "op2"]
+        again, cursor2 = collector.traces_since(cursor)
+        assert again == [] and cursor2 == cursor
+        collector.collect(make_trace(3, operation="op3"))
+        batch, cursor = collector.traces_since(cursor)
+        assert [t.operation for t in batch] == ["op3"]
+
+    def test_traces_since_skips_evicted(self):
+        collector = TraceCollector(keep_traces=4)
+        _, cursor = collector.traces_since(0)
+        for n in range(10):
+            collector.collect(make_trace(n, operation=f"op{n}"))
+        batch, _ = collector.traces_since(cursor)
+        # 10 arrived but only the freshest window of 4 survives.
+        assert [t.operation for t in batch] == \
+            ["op6", "op7", "op8", "op9"]
+
+
+# ------------------------------------------- sampled-run determinism
+def run_banking(sample_seed=None, rate=0.5):
+    app = build_app("banking")
+    sampler = None if sample_seed is None \
+        else TraceSampler(rate, seed=sample_seed)
+    metrics = MetricsRegistry()
+    result = simulate(app, qps=30.0, duration=10.0, n_machines=3,
+                      seed=5, metrics=metrics, sampler=sampler)
+    otlp = traces_to_otlp_json(result.collector.traces).encode()
+    prom = to_prometheus_text(metrics, now=10.0).encode()
+    return result, otlp, prom
+
+
+@pytest.fixture(scope="class")
+def banking_runs():
+    full, full_otlp, full_prom = run_banking(sample_seed=None)
+    samp, samp_otlp, samp_prom = run_banking(sample_seed=2)
+    rerun, rerun_otlp, rerun_prom = run_banking(sample_seed=2)
+    return {
+        "full": (full, full_otlp, full_prom),
+        "sampled": (samp, samp_otlp, samp_prom),
+        "rerun": (rerun, rerun_otlp, rerun_prom),
+    }
+
+
+class TestSampledRunDeterminism:
+    def test_same_seed_runs_export_identical_bytes(self, banking_runs):
+        _, otlp, prom = banking_runs["sampled"]
+        _, otlp2, prom2 = banking_runs["rerun"]
+        assert otlp == otlp2
+        assert prom == prom2
+
+    def test_sampling_does_not_perturb_the_simulation(self,
+                                                      banking_runs):
+        full, _, _ = banking_runs["full"]
+        samp, _, _ = banking_runs["sampled"]
+        assert full.deployment.env.events_scheduled \
+            == samp.deployment.env.events_scheduled
+        assert full.collector.total_collected \
+            == samp.collector.total_collected
+        assert full.collector.status_counts \
+            == samp.collector.status_counts
+
+    def test_sampled_subset_is_a_strict_subset(self, banking_runs):
+        full, _, _ = banking_runs["full"]
+        samp, _, _ = banking_runs["sampled"]
+        assert 0 < samp.collector.total_stored \
+            < full.collector.total_stored
+        assert samp.collector.unsampled_traces \
+            == full.collector.total_stored - samp.collector.total_stored
+
+    def test_sampled_percentiles_near_unsampled(self, banking_runs):
+        # Loose gate: ~120 kept traces here; the tight 5% gate runs on
+        # the big fixed scenario in benchmarks/bench_perf_engine.py.
+        full, _, _ = banking_runs["full"]
+        samp, _, _ = banking_runs["sampled"]
+        assert samp.collector.effective_sample_size > 50
+        assert samp.tail(0.95) == pytest.approx(full.tail(0.95),
+                                                rel=0.25)
+
+    def test_different_sample_seed_changes_the_subset(self,
+                                                      banking_runs):
+        _, otlp, _ = banking_runs["sampled"]
+        _, other_otlp, _ = run_banking(sample_seed=9)
+        assert otlp != other_otlp
+
+
+# --------------------------------------------- critical-path breakdown
+class TestCriticalPathBreakdown:
+    def make_nested(self, db_end=0.080):
+        # frontend [0, 0.100] -> backend [0.020, 0.090] -> db
+        # [0.030, db_end]; the critical path follows latest-ending
+        # children.
+        db = Span("db", "query", 0.030, end=db_end)
+        backend = Span("backend", "serve", 0.020, end=0.090,
+                       block_time=0.010, children=[db])
+        root = Span("frontend", "compose", 0.0, end=0.100,
+                    children=[backend])
+        return Trace("compose", root)
+
+    def test_self_times_sum_to_latency_shares(self):
+        out = critical_path_breakdown([self.make_nested()])
+        assert set(out) == {"frontend", "backend", "db"}
+        # frontend self 0.030, backend self 0.020, db self 0.050 of a
+        # 0.100 total.
+        assert out["frontend"]["share_p50"] == pytest.approx(0.30)
+        assert out["backend"]["share_p50"] == pytest.approx(0.20)
+        assert out["db"]["share_p50"] == pytest.approx(0.50)
+        total_share = sum(row["share_p50"] for row in out.values())
+        assert total_share == pytest.approx(1.0)
+
+    def test_blocked_vs_exclusive_split(self):
+        out = critical_path_breakdown([self.make_nested()])
+        assert out["backend"]["mean_blocked"] == pytest.approx(0.010)
+        assert out["backend"]["mean_exclusive"] == pytest.approx(0.010)
+        assert out["db"]["mean_blocked"] == pytest.approx(0.0)
+
+    def test_presence_counts_touched_traces(self):
+        fast_db = self.make_nested(db_end=0.040)
+        out = critical_path_breakdown([self.make_nested(), fast_db])
+        assert out["frontend"]["presence"] == 1.0
+        assert out["db"]["presence"] == 1.0
+        assert out["frontend"]["count"] == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            critical_path_breakdown([])
