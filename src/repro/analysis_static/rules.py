@@ -7,7 +7,9 @@ with a rule code.  ``SIM00x`` codes come from :mod:`.simlint`
 :mod:`.topology` (service-graph structure); ``FAULT00x`` from
 :mod:`.faultcheck` (chaos schedules); ``CAP00x``/``DLINE00x`` from
 :mod:`.flow` (capacity and deadline feasibility at a declared load);
-``CFG00x`` from :mod:`.policycheck` (cross-layer policy consistency).
+``CFG00x`` from :mod:`.policycheck` (cross-layer policy consistency);
+``DEG00x`` from :mod:`.topology` (graceful-degradation policy and
+brownout configuration).
 The shared vocabulary keeps the CLI, the CI job, and the test fixtures
 on one format.
 
@@ -222,6 +224,29 @@ ALL_RULES: Dict[str, tuple] = {
         "gate",
         "lower unhealthy_threshold/probe_interval (detection ~= k x "
         "probe interval + probe timeout) or relax the MTTR gate",
+    ),
+    "DEG001": (
+        "degradation policy on a service no operation ever calls",
+        "remove the policy or fix the service name; a dead policy "
+        "reads as coverage the brownout controller does not have",
+    ),
+    "DEG002": (
+        "never_drop service nested inside a droppable (optional) "
+        "subtree, so dropping the ancestor silently drops it too",
+        "move the protected call out of the optional subtree, or drop "
+        "never_drop/optional on one of the two policies",
+    ),
+    "DEG003": (
+        "brownout configuration can never engage: inverted feedback "
+        "bounds, or a drop/fan-out level above max_level",
+        "keep p95_low < p95_high and inflight_low < inflight_high, "
+        "and every policy's drop_level/fanout_level <= max_level",
+    ),
+    "DEG004": (
+        "stale_cache fallback on a tier that is neither a cache nor "
+        "region-replicated, so there is no stale copy to serve",
+        "use the 'default' fallback, or point the policy at a cache "
+        "tier / region-replicated store that actually holds a copy",
     ),
 }
 

@@ -34,6 +34,25 @@ message:
     the policy's retry budget sustains (``1 + retry_budget_ratio``) —
     or retries are configured with no budget at all — the graph is
     primed for the retry storms PR 1's experiments demonstrate.
+``DEG001``
+    Dead degradation policy: the policy names a service no operation
+    ever calls, so the coverage it suggests does not exist.
+``DEG002``
+    Protected call inside a droppable subtree: a ``never_drop``
+    service sits below an ``optional`` ancestor in some call tree, so
+    the brownout controller dropping the ancestor silently drops the
+    protected call with it.
+``DEG003``
+    Brownout configuration that can never engage: feedback bounds
+    inverted (``p95_high <= p95_low``, ``inflight_high <=
+    inflight_low``, or ``err_high <= err_low``), or a policy's
+    ``drop_level``/``fanout_level`` above the controller's
+    ``max_level`` (the trigger is unreachable).
+``DEG004``
+    ``stale_cache`` fallback on a tier that is neither a cache
+    (``ServiceKind.CACHE``) nor region-replicated via
+    ``service_regions``: there is no stale copy to serve, so the
+    fallback is a lie.
 
 The validator is duck-typed on purpose: it accepts real
 ``ServiceDefinition``/``Operation`` objects or plain stand-ins, so
@@ -133,6 +152,9 @@ def validate_topology(services: Mapping[str, object],
                       service_regions: Optional[Mapping[str, str]] = None,
                       policies: Optional[Mapping[str, object]] = None,
                       default_policy: Optional[object] = None,
+                      degradation_policies: Optional[
+                          Mapping[str, object]] = None,
+                      brownout: Optional[object] = None,
                       app_name: str = "app") -> List[Finding]:
     """Validate one service graph; returns findings (empty = valid)."""
     findings: List[Finding] = []
@@ -234,6 +256,12 @@ def validate_topology(services: Mapping[str, object],
         findings.extend(_check_retry_amplification(
             operations, policies or {}, default_policy, app_name))
 
+    # -- DEG001-004: graceful-degradation policy consistency ------------
+    if degradation_policies or brownout is not None:
+        findings.extend(_check_degradation(
+            services, operations, degradation_policies or {},
+            brownout, service_regions or {}, called, app_name))
+
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -297,6 +325,117 @@ def _check_retry_amplification(operations: Mapping[str, object],
     return findings
 
 
+def _check_degradation(services: Mapping[str, object],
+                       operations: Mapping[str, object],
+                       degradation_policies: Mapping[str, object],
+                       brownout: Optional[object],
+                       service_regions: Mapping[str, str],
+                       called: set,
+                       app_name: str) -> List[Finding]:
+    """DEG001-004: degradation-policy and brownout consistency."""
+    findings: List[Finding] = []
+
+    def err(code: str, message: str) -> None:
+        findings.append(Finding(code=code, message=message, path=app_name))
+
+    def pol_attr(service: str, attr: str, default=None):
+        pol = degradation_policies.get(service)
+        return getattr(pol, attr, default) if pol is not None else default
+
+    # -- DEG001: policy on a service nothing calls ----------------------
+    for name in sorted(degradation_policies):
+        if name not in called:
+            err("DEG001",
+                f"degradation policy targets service {name!r}, which no "
+                f"operation calls")
+
+    # -- DEG002: never_drop below an optional ancestor ------------------
+    reported = set()
+
+    def descend(node, droppable_ancestor: Optional[str],
+                op_name: str) -> None:
+        for group in getattr(node, "groups", []) or []:
+            for child in group:
+                service = child.service
+                if pol_attr(service, "never_drop", False) and \
+                        droppable_ancestor is not None:
+                    key = (op_name, service, droppable_ancestor)
+                    if key not in reported:
+                        reported.add(key)
+                        err("DEG002",
+                            f"operation {op_name!r}: never_drop service "
+                            f"{service!r} sits inside the droppable "
+                            f"subtree rooted at {droppable_ancestor!r}")
+                ancestor = droppable_ancestor
+                if pol_attr(service, "optional", False):
+                    ancestor = ancestor or service
+                descend(child, ancestor, op_name)
+
+    for op_name, op in operations.items():
+        root = op.root
+        ancestor = root.service if pol_attr(root.service, "optional",
+                                            False) else None
+        descend(root, ancestor, op_name)
+
+    # -- DEG003: controller bounds / unreachable levels -----------------
+    max_level = getattr(brownout, "max_level", 3)
+    if brownout is not None:
+        p95_high = getattr(brownout, "p95_high", None)
+        p95_low = getattr(brownout, "p95_low", None)
+        if p95_high is not None and p95_low is not None and \
+                p95_high <= p95_low:
+            err("DEG003",
+                f"brownout p95_high ({p95_high!r}) <= p95_low "
+                f"({p95_low!r}): the latency trigger can never separate "
+                f"hot from calm")
+        occ_high = getattr(brownout, "inflight_high", None)
+        occ_low = getattr(brownout, "inflight_low", None)
+        if occ_high is not None and occ_low is not None and \
+                occ_high <= occ_low:
+            err("DEG003",
+                f"brownout inflight_high ({occ_high!r}) <= inflight_low "
+                f"({occ_low!r}): the occupancy trigger can never "
+                f"separate hot from calm")
+        err_high = getattr(brownout, "err_high", None)
+        err_low = getattr(brownout, "err_low", None)
+        if err_high is not None and err_low is not None and \
+                err_high <= err_low:
+            err("DEG003",
+                f"brownout err_high ({err_high!r}) <= err_low "
+                f"({err_low!r}): the failure-fraction trigger can "
+                f"never separate hot from calm")
+    for name in sorted(degradation_policies):
+        if pol_attr(name, "optional", False):
+            drop_level = pol_attr(name, "drop_level", 1)
+            if drop_level > max_level:
+                err("DEG003",
+                    f"policy on {name!r} drops at level {drop_level}, "
+                    f"above the controller's max_level {max_level}: "
+                    f"the drop can never trigger")
+        if pol_attr(name, "fanout_keep") is not None:
+            fanout_level = pol_attr(name, "fanout_level", 2)
+            if fanout_level > max_level:
+                err("DEG003",
+                    f"policy on {name!r} trims fan-out at level "
+                    f"{fanout_level}, above the controller's max_level "
+                    f"{max_level}: the trim can never trigger")
+
+    # -- DEG004: stale_cache with nowhere to read a stale copy ----------
+    for name in sorted(degradation_policies):
+        if pol_attr(name, "fallback") != "stale_cache":
+            continue
+        svc = services.get(name)
+        kind = getattr(svc, "kind", None)
+        if kind == "cache" or name in service_regions:
+            continue
+        err("DEG004",
+            f"policy on {name!r} falls back to stale_cache but the "
+            f"tier is kind {kind!r} and not region-replicated: there "
+            f"is no stale copy to serve")
+
+    return findings
+
+
 def validate_app(app, policies: Optional[Mapping[str, object]] = None,
                  default_policy: Optional[object] = None) -> List[Finding]:
     """Validate a built :class:`~repro.services.app.Application`."""
@@ -308,6 +447,7 @@ def validate_app(app, policies: Optional[Mapping[str, object]] = None,
         regions=getattr(app, "regions", ()),
         service_regions=getattr(app, "service_regions", None),
         policies=policies, default_policy=default_policy,
+        degradation_policies=getattr(app, "degradation_policies", None),
         app_name=app.name)
     if app.qos_latency <= 0:
         findings.append(Finding(

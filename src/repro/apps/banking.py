@@ -14,6 +14,11 @@ managed languages and do real work per request.
 
 from __future__ import annotations
 
+from ..resilience.degrade import (
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    DegradationPolicy,
+)
 from ..services.app import Application, Operation, Protocol
 from ..services.calltree import CallNode, par, seq
 from ..services.datastores import (
@@ -230,6 +235,42 @@ def build_banking() -> Application:
     }
     for name, weight in weights.items():
         operations[name].weight = weight
+    # Criticality: money movement and account opening are critical;
+    # unauthenticated browsing degrades; search sheds first.
+    operations["browseInfo"].criticality = CRIT_DEGRADABLE
+    operations["searchBank"].criticality = CRIT_SHEDDABLE
+
+    degradation_policies = {
+        "ads": DegradationPolicy(
+            service="ads", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        "offerBanners": DegradationPolicy(
+            service="offerBanners", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        "media": DegradationPolicy(
+            service="media", optional=True, drop_level=2,
+            fidelity_cost=0.1),
+        "mc-customer": DegradationPolicy(
+            service="mc-customer", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "mc-offers": DegradationPolicy(
+            service="mc-offers", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "index0": DegradationPolicy(
+            service="index0", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index1": DegradationPolicy(
+            service="index1", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index2": DegradationPolicy(
+            service="index2", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        # The auth/ACL chain guards every mutating request; it must
+        # never sit inside a droppable subtree (DEG002).
+        "authentication": DegradationPolicy(
+            service="authentication", never_drop=True),
+        "ACL": DegradationPolicy(service="ACL", never_drop=True),
+    }
 
     return Application(
         name="banking",
@@ -239,6 +280,7 @@ def build_banking() -> Application:
         qos_latency=BANKING_QOS,
         entry_service="front-end",
         sharded_services=["mongo-customer"],
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 13876,

@@ -16,6 +16,11 @@ scalability at high load" (Sec. 7) — modeled as ``max_workers=1``.
 
 from __future__ import annotations
 
+from ..resilience.degrade import (
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    DegradationPolicy,
+)
 from ..services.app import Application, Operation, Protocol
 from ..services.calltree import CallNode, par, seq
 from ..services.datastores import (
@@ -208,6 +213,42 @@ def build_ecommerce() -> Application:
     }
     for name, weight in weights.items():
         operations[name].weight = weight
+    # Criticality: the money path (cart, order, wishlist) is critical;
+    # browsing degrades; search and recommendations shed first.
+    operations["browseCatalogue"].criticality = CRIT_DEGRADABLE
+    operations["searchShop"].criticality = CRIT_SHEDDABLE
+    operations["recommendations"].criticality = CRIT_SHEDDABLE
+
+    degradation_policies = {
+        "ads": DegradationPolicy(
+            service="ads", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        "discounts": DegradationPolicy(
+            service="discounts", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        # A catalogue page without hero media still sells socks.
+        "catalogue-media": DegradationPolicy(
+            service="catalogue-media", optional=True, drop_level=2,
+            fidelity_cost=0.1),
+        "mc-catalogue": DegradationPolicy(
+            service="mc-catalogue", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "mc-cart": DegradationPolicy(
+            service="mc-cart", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "index0": DegradationPolicy(
+            service="index0", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index1": DegradationPolicy(
+            service="index1", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index2": DegradationPolicy(
+            service="index2", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        # Payment authorization must survive every brownout level.
+        "payment-authorization": DegradationPolicy(
+            service="payment-authorization", never_drop=True),
+    }
 
     return Application(
         name="ecommerce",
@@ -217,6 +258,7 @@ def build_ecommerce() -> Application:
         qos_latency=ECOMMERCE_QOS,
         entry_service="front-end",
         sharded_services=["mongo-cart", "mc-cart"],
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 16194,

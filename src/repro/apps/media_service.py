@@ -9,6 +9,11 @@ all downstream messages over Thrift RPC.
 
 from __future__ import annotations
 
+from ..resilience.degrade import (
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    DegradationPolicy,
+)
 from ..services.app import Application, Operation, Protocol
 from ..services.calltree import CallNode, par, seq
 from ..services.datastores import (
@@ -218,6 +223,45 @@ def build_media_service() -> Application:
     }
     for name, weight in weights.items():
         operations[name].weight = weight
+    # Criticality: paid actions (rent, review, login) and in-flight
+    # streams stay critical; browsing degrades; search sheds first.
+    operations["browseMovie"].criticality = CRIT_DEGRADABLE
+    operations["searchMovies"].criticality = CRIT_SHEDDABLE
+
+    degradation_policies = {
+        "ads": DegradationPolicy(
+            service="ads", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        "recommender": DegradationPolicy(
+            service="recommender", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        # A browse page without photos/videos is still a page.
+        "photos": DegradationPolicy(
+            service="photos", optional=True, drop_level=2,
+            fidelity_cost=0.1),
+        "videos": DegradationPolicy(
+            service="videos", optional=True, drop_level=2,
+            fidelity_cost=0.1),
+        "mc-movieinfo": DegradationPolicy(
+            service="mc-movieinfo", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "mc-reviews": DegradationPolicy(
+            service="mc-reviews", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "index0": DegradationPolicy(
+            service="index0", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index1": DegradationPolicy(
+            service="index1", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index2": DegradationPolicy(
+            service="index2", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        # Payment authorization is sacrosanct (DEG002 keeps it out of
+        # any droppable subtree).
+        "payment-auth": DegradationPolicy(
+            service="payment-auth", never_drop=True),
+    }
 
     return Application(
         name="media_service",
@@ -227,6 +271,7 @@ def build_media_service() -> Application:
         qos_latency=MEDIA_SERVICE_QOS,
         entry_service="nginx-lb",
         sharded_services=["moviedb-shard0", "moviedb-shard1"],
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 12155,

@@ -15,6 +15,11 @@ timelines); reads dominate the default mix.
 
 from __future__ import annotations
 
+from ..resilience.degrade import (
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    DegradationPolicy,
+)
 from ..services.app import Application, Operation, Protocol
 from ..services.calltree import CallNode, par, seq
 from ..services.datastores import (
@@ -266,6 +271,59 @@ def build_social_network() -> Application:
     }
     for name, weight in weights.items():
         operations[name].weight = weight
+    # Criticality tiers: writes and account actions must survive an
+    # incident at full strength; timeline/profile reads tolerate
+    # missing optional content; search is first against the wall.
+    for name in ("readTimeline", "userInfo", "favorite"):
+        operations[name].criticality = CRIT_DEGRADABLE
+    operations["search"].criticality = CRIT_SHEDDABLE
+
+    degradation_policies = {
+        # Ads and recommendations are revenue, not correctness: the
+        # first subtrees to go under brownout, with an empty-payload
+        # default response.
+        "ads": DegradationPolicy(
+            service="ads", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        "recommender": DegradationPolicy(
+            service="recommender", optional=True, drop_level=1,
+            fallback="default", fidelity_cost=0.05),
+        # Timeline/post caches may serve their last value when the
+        # subtree behind them melts; the mongo tiers are region-
+        # replicated (service_regions), so a stale answer exists.
+        "mc-timeline": DegradationPolicy(
+            service="mc-timeline", fallback="stale_cache",
+            fidelity_cost=0.15),
+        "mc-posts": DegradationPolicy(
+            service="mc-posts", fallback="stale_cache",
+            fidelity_cost=0.15),
+        # The timeline store carries the heaviest read traffic in the
+        # mix; under deep brownout, degradable reads stop refreshing
+        # through it and serve cache-only (drop the store subtree
+        # behind mc-timeline).  Critical writes never drop it — their
+        # class-effective level cannot reach drop_level.
+        "mongo-timeline": DegradationPolicy(
+            service="mongo-timeline", optional=True, drop_level=2,
+            fallback="stale_cache", fidelity_cost=0.2),
+        "mongo-posts": DegradationPolicy(
+            service="mongo-posts", fallback="stale_cache",
+            fidelity_cost=0.2),
+        # Search results degrade to fewer shards before they disappear.
+        "index0": DegradationPolicy(
+            service="index0", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index1": DegradationPolicy(
+            service="index1", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        "index2": DegradationPolicy(
+            service="index2", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.2),
+        # Safety check: content moderation must never be skipped, no
+        # matter how deep the brownout (lint rule DEG002 enforces it
+        # stays outside every droppable subtree).
+        "blockedUsers": DegradationPolicy(
+            service="blockedUsers", never_drop=True),
+    }
 
     return Application(
         name="social_network",
@@ -288,6 +346,7 @@ def build_social_network() -> Application:
             "mongo-timeline": "us-east",
             "mongo-graph": "us-east",
         },
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 15198,

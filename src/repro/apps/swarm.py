@@ -28,6 +28,11 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..resilience.degrade import (
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    DegradationPolicy,
+)
 from ..services.app import Application, Operation, Protocol
 from ..services.calltree import CallNode, par, seq
 from ..services.definition import ServiceDefinition, ServiceKind
@@ -166,6 +171,40 @@ def build_swarm_cloud() -> Application:
             CallNode(service="diagnostics"),
             CallNode(service="log"))))
 
+    # Criticality: the flight loops (obstacle avoidance, image
+    # recognition) are critical; route planning degrades; archival
+    # sheds first under overload.
+    ops["constructRoute"].criticality = CRIT_DEGRADABLE
+    ops["archiveVideo"].criticality = CRIT_SHEDDABLE
+    ops["uploadTelemetry"].criticality = CRIT_DEGRADABLE
+
+    degradation_policies = {
+        "diagnostics": DegradationPolicy(
+            service="diagnostics", optional=True, drop_level=1,
+            fidelity_cost=0.05),
+        "log": DegradationPolicy(
+            service="log", optional=True, drop_level=2,
+            fidelity_cost=0.05),
+        # Skip the stock-image comparison under extreme brownout.
+        "stockImageDB": DegradationPolicy(
+            service="stockImageDB", optional=True, drop_level=1,
+            fidelity_cost=0.15),
+        # Telemetry stores fan out in parallel; speedDB (no policy)
+        # always persists, the rest trim to one under brownout.
+        "orientationDB": DegradationPolicy(
+            service="orientationDB", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.1),
+        "luminosityDB": DegradationPolicy(
+            service="luminosityDB", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.1),
+        # The actuation loop keeps running whatever the brownout level
+        # says (DEG002 guards its placement).
+        "obstacleAvoidance": DegradationPolicy(
+            service="obstacleAvoidance", never_drop=True),
+        "motionControl": DegradationPolicy(
+            service="motionControl", never_drop=True),
+    }
+
     return Application(
         name="swarm_cloud",
         services=services,
@@ -174,6 +213,7 @@ def build_swarm_cloud() -> Application:
         qos_latency=SWARM_QOS,
         entry_service="nginx-lb",
         service_zones=zones,
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 11283,
@@ -265,6 +305,33 @@ def build_swarm_edge() -> Application:
                             CallNode(service="locationDB"))))))))),
             CallNode(service="log"))))
 
+    # Same tiering as the cloud configuration: the on-drone flight
+    # loops stay critical, route planning degrades, archival sheds.
+    ops["constructRoute"].criticality = CRIT_DEGRADABLE
+    ops["archiveMedia"].criticality = CRIT_SHEDDABLE
+    ops["uploadTelemetry"].criticality = CRIT_DEGRADABLE
+
+    degradation_policies = {
+        "diagnostics": DegradationPolicy(
+            service="diagnostics", optional=True, drop_level=1,
+            fidelity_cost=0.05),
+        "log": DegradationPolicy(
+            service="log", optional=True, drop_level=2,
+            fidelity_cost=0.05),
+        # Archival fans out to three stores; videoDB (no policy) always
+        # persists, the image mirrors trim to one under brownout.
+        "imageDB": DegradationPolicy(
+            service="imageDB", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.15),
+        "stockImageDB": DegradationPolicy(
+            service="stockImageDB", fanout_keep=1, fanout_level=1,
+            fidelity_cost=0.15),
+        "obstacleAvoidance": DegradationPolicy(
+            service="obstacleAvoidance", never_drop=True),
+        "motionControl": DegradationPolicy(
+            service="motionControl", never_drop=True),
+    }
+
     return Application(
         name="swarm_edge",
         services=services,
@@ -273,6 +340,7 @@ def build_swarm_edge() -> Application:
         qos_latency=SWARM_QOS,
         entry_service="controller",
         service_zones=zones,
+        degradation_policies=degradation_policies,
         metadata={
             "paper_table1": {
                 "total_locs": 13876,

@@ -25,7 +25,7 @@ longest post-injection episode, so a scenario can assert not just
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..obs.qos import QoSReport, attribute_qos_violations
 from ..stats.percentiles import percentile
@@ -87,6 +87,22 @@ class Scorecard:
     blast_radius: float = 0.0
     goodput_lost: float = 0.0
     attributed: Optional[str] = None
+    #: Front-door rejections during the run (criticality-aware when
+    #: the degradation layer is armed).
+    shed_requests: int = 0
+    #: Successful completions that carried >= 1 degradation event.
+    degraded_responses: int = 0
+    #: Successful completions at full fidelity under an armed
+    #: degradation layer (zero when the layer is off).
+    full_fidelity_responses: int = 0
+    #: Criticality class -> fraction of expected post-injection
+    #: completions that never materialized (empty without degradation).
+    goodput_lost_by_class: Dict[str, float] = field(default_factory=dict)
+    #: Criticality class -> utility-seconds lost post-injection: the
+    #: missing fidelity-weighted completions divided by the healthy
+    #: pre-fault utility rate, i.e. seconds of full-rate service
+    #: effectively destroyed for that class.
+    utility_seconds_lost: Dict[str, float] = field(default_factory=dict)
     #: The full attribution report backing the summary numbers.
     qos_report: Optional[QoSReport] = None
 
@@ -108,6 +124,11 @@ class Scorecard:
             "blast_radius_tier_seconds": self.blast_radius,
             "goodput_lost": self.goodput_lost,
             "attributed": self.attributed,
+            "shed_requests": self.shed_requests,
+            "degraded_responses": self.degraded_responses,
+            "full_fidelity_responses": self.full_fidelity_responses,
+            "goodput_lost_by_class": dict(self.goodput_lost_by_class),
+            "utility_seconds_lost": dict(self.utility_seconds_lost),
         }
 
     def render(self) -> str:
@@ -129,7 +150,19 @@ class Scorecard:
              f"({', '.join(self.blast_tiers) or 'none'})"],
             ["goodput lost", f"{self.goodput_lost * 100:.1f}%"],
             ["attributed culprit", self.attributed or "-"],
+            ["shed requests", str(self.shed_requests)],
         ]
+        if self.degraded_responses or self.full_fidelity_responses:
+            rows.append(["degraded / full fidelity",
+                         f"{self.degraded_responses} / "
+                         f"{self.full_fidelity_responses}"])
+        for crit in sorted(self.utility_seconds_lost):
+            lost = self.utility_seconds_lost[crit]
+            goodput = self.goodput_lost_by_class.get(crit)
+            detail = f"{lost:.1f} utility-seconds"
+            if goodput is not None:
+                detail += f" ({goodput * 100:.1f}% goodput lost)"
+            rows.append([f"degradation [{crit}]", detail])
         return format_table(
             ["metric", "value"], rows,
             title=f"resilience scorecard: {self.scenario} on {self.app}")
@@ -151,6 +184,43 @@ def _goodput_lost(result, target: float, first_inject: float) -> float:
     actual_good = sum(1 for s in post if s <= target)
     expected_good = good_rate * post_len
     return min(1.0, max(0.0, 1.0 - actual_good / expected_good))
+
+
+def _per_class_losses(result, first_inject: float) -> tuple:
+    """(goodput_lost_by_class, utility_seconds_lost) post-injection.
+
+    Both compare the post-injection window against the pre-fault rate,
+    per criticality class.  Utility-seconds divide the missing
+    fidelity-weighted completions by the healthy utility rate, so the
+    number reads as "seconds of full-rate service destroyed" and is
+    comparable across classes with different traffic shares."""
+    collector = result.collector
+    pre_len = first_inject - result.warmup
+    post_len = result.duration - first_inject
+    if pre_len <= 0 or post_len <= 0 or not collector.utility_log:
+        return {}, {}
+    pre_ok = collector.ok_by_class(start=result.warmup, end=first_inject)
+    post_ok = collector.ok_by_class(start=first_inject,
+                                    end=result.duration)
+    pre_util = collector.utility_by_class(start=result.warmup,
+                                          end=first_inject)
+    post_util = collector.utility_by_class(start=first_inject,
+                                           end=result.duration)
+    goodput_lost: Dict[str, float] = {}
+    utility_lost: Dict[str, float] = {}
+    for crit in sorted(set(pre_ok) | set(post_ok)):
+        ok_rate = pre_ok.get(crit, 0) / pre_len
+        if ok_rate > 0:
+            expected = ok_rate * post_len
+            goodput_lost[crit] = min(1.0, max(
+                0.0, 1.0 - post_ok.get(crit, 0) / expected))
+        util_rate = pre_util.get(crit, 0.0) / pre_len
+        if util_rate > 0:
+            expected_util = util_rate * post_len
+            missing = max(0.0, expected_util
+                          - post_util.get(crit, 0.0))
+            utility_lost[crit] = missing / util_rate
+    return goodput_lost, utility_lost
 
 
 def build_scorecard(result, chaos_log, health_events: Sequence = (),
@@ -182,6 +252,10 @@ def build_scorecard(result, chaos_log, health_events: Sequence = (),
         first_injection=first_inject,
         qos_report=report,
     )
+    collector = result.collector
+    card.shed_requests = collector.status_counts.get("shed", 0)
+    card.degraded_responses = collector.degraded_count
+    card.full_fidelity_responses = collector.full_fidelity_count
 
     steady_end = first_inject if first_inject is not None \
         else result.duration
@@ -228,4 +302,6 @@ def build_scorecard(result, chaos_log, health_events: Sequence = (),
         card.attributed = top.service if top else None
 
     card.goodput_lost = _goodput_lost(result, target, first_inject)
+    card.goodput_lost_by_class, card.utility_seconds_lost = \
+        _per_class_losses(result, first_inject)
     return card

@@ -10,12 +10,22 @@ Commands
     Deploy and drive one application; print the measurement summary.
     ``--metrics-out``/``--traces-out`` attach the observability layer
     and write Prometheus text exposition / OTLP JSON artifacts.
+    ``--degradation`` arms graceful degradation — criticality-aware
+    front-door shedding, the brownout controller, and the app's
+    declared degradation policies — and reports brownout transitions,
+    degradation events, and fidelity counts.
 ``report qos APP``
     Run one experiment and attribute QoS violations to culprit tiers
     (the Sec. 7 "which microservice started the cascade" analysis);
     ``--delay``/``--slow`` inject tier faults to provoke one;
     ``--json`` emits the machine-readable episode report instead of
     the rendered tables.
+``report degradation APP``
+    Run one experiment with graceful degradation armed (optionally
+    under ``--delay``/``--slow`` faults) and report the brownout level
+    trajectory, per-criticality-class goodput and utility rates, and
+    the degradation event counters; ``--json`` for the machine-readable
+    form.
 ``report critical-path APP``
     Aggregated per-tier critical-path breakdown over one run's traces:
     presence on the path, p50/p95/p99 share of end-to-end latency, and
@@ -167,10 +177,15 @@ def _cmd_simulate(args) -> int:
         from .obs import MetricsRegistry
         metrics = MetricsRegistry(scrape_period=args.scrape_period)
     sampler = _sampler_from_args(args)
+    manager = shedder = None
+    if args.degradation:
+        from .resilience import arm_degradation
+        manager, shedder = arm_degradation(app, qps=args.qps)
     result = simulate(app, qps=args.qps, duration=args.duration,
                       n_machines=args.machines, replicas=replicas,
                       seed=args.seed, default_policy=policy,
-                      metrics=metrics, sampler=sampler)
+                      metrics=metrics, sampler=sampler,
+                      shedder=shedder, degradation=manager)
     rows = [
         ["offered load (QPS)", f"{args.qps:g}"],
         ["throughput (req/s)", f"{result.throughput():.1f}"],
@@ -188,6 +203,26 @@ def _cmd_simulate(args) -> int:
             ["retries", str(stats["retries"])],
             ["rpc timeouts", str(stats["timeouts"])],
             ["breaker rejections", str(stats["breaker_rejected"])],
+        ]
+    if manager is not None:
+        collector = result.collector
+        shed_by_class = ", ".join(
+            f"{crit}={count}" for crit, count
+            in sorted(shedder.shed_by_class.items())) or "none"
+        rows += [
+            ["brownout level (final/peak)",
+             f"{manager.level}/"
+             f"{max([ev.level_to for ev in manager.events], default=0)}"],
+            ["brownout transitions", str(len(manager.events))],
+            ["degradation events",
+             f"{manager.degradation_events} "
+             f"(drops={sum(manager.drops.values())}, "
+             f"fallbacks={sum(manager.fallbacks.values())}, "
+             f"fanout cuts={sum(manager.fanout_cuts.values())})"],
+            ["shed by class", shed_by_class],
+            ["degraded / full fidelity",
+             f"{collector.degraded_count} / "
+             f"{collector.full_fidelity_count}"],
         ]
     dropped = result.collector.dropped_traces
     if dropped:
@@ -319,9 +354,104 @@ def _cmd_report_critical_path(args) -> int:
     return 0
 
 
+def _cmd_report_degradation(args) -> int:
+    from .resilience import arm_degradation
+    app = build_app(args.app)
+    for service, _ in args.delay + args.slow:
+        if service not in app.services:
+            print(f"error: {app.name} has no service {service!r}",
+                  file=sys.stderr)
+            return 2
+    replicas = balanced_provision(app, target_qps=max(args.qps * 1.5, 50))
+    manager, shedder = arm_degradation(app, qps=args.qps)
+
+    def inject(deployment):
+        for service, seconds in args.delay:
+            deployment.delay_service(service, seconds)
+        for service, factor in args.slow:
+            deployment.slow_down_service(service, factor)
+
+    result = simulate(app, qps=args.qps, duration=args.duration,
+                      n_machines=args.machines, replicas=replicas,
+                      seed=args.seed, shedder=shedder,
+                      degradation=manager,
+                      setup=inject if (args.delay or args.slow)
+                      else None)
+    collector = result.collector
+    window = result.duration - result.warmup
+    ok = collector.ok_by_class(start=result.warmup)
+    utility = collector.utility_by_class(start=result.warmup)
+    if args.json:
+        import json
+        payload = {
+            "app": app.name, "qps": args.qps,
+            "duration": args.duration, "seed": args.seed,
+            "brownout_events": manager.event_log(),
+            "final_level": manager.level,
+            "degradation_events": manager.degradation_events,
+            "drops": dict(manager.drops),
+            "fallbacks": dict(manager.fallbacks),
+            "fanout_cuts": dict(manager.fanout_cuts),
+            "shed_by_class": dict(shedder.shed_by_class),
+            "admitted_by_class": dict(shedder.admitted_by_class),
+            "degraded_responses": collector.degraded_count,
+            "full_fidelity_responses": collector.full_fidelity_count,
+            "by_criticality": {crit: dict(counts) for crit, counts
+                               in collector.by_criticality.items()},
+            "goodput_by_class": {crit: count / window
+                                 for crit, count in ok.items()},
+            "utility_rate_by_class": {crit: total / window
+                                      for crit, total
+                                      in utility.items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True,
+                         allow_nan=False))
+        return 0
+    rows = []
+    for crit in sorted(collector.by_criticality):
+        counts = collector.by_criticality[crit]
+        rows.append([
+            crit,
+            str(counts.get("ok", 0)),
+            str(shedder.shed_by_class.get(crit, 0)),
+            str(sum(counts.values()) - counts.get("ok", 0)
+                - counts.get("shed", 0)),
+            f"{ok.get(crit, 0) / window:.1f}",
+            f"{utility.get(crit, 0.0) / window:.1f}",
+        ])
+    print(format_table(
+        ["class", "ok", "shed", "failed", "goodput (req/s)",
+         "utility (u/s)"], rows,
+        title=f"{app.name} degradation report (post-warmup)"))
+    print()
+    rows = [
+        ["final brownout level", str(manager.level)],
+        ["brownout transitions", str(len(manager.events))],
+        ["subtrees dropped", str(sum(manager.drops.values()))],
+        ["fallbacks served", str(sum(manager.fallbacks.values()))],
+        ["fan-out cuts", str(sum(manager.fanout_cuts.values()))],
+        ["degraded responses", str(collector.degraded_count)],
+        ["full-fidelity responses",
+         str(collector.full_fidelity_count)],
+    ]
+    print(format_table(["metric", "value"], rows, title="degradation"))
+    if manager.events:
+        print()
+        rows = [[f"{ev.time:.1f}", f"{ev.level_from} -> {ev.level_to}",
+                 "-" if ev.p95 is None else f"{ev.p95 * 1e3:.1f}",
+                 f"{ev.occupancy:.2f}"]
+                for ev in manager.events]
+        print(format_table(
+            ["time (s)", "level", "p95 (ms)", "occupancy"], rows,
+            title="brownout trajectory"))
+    return 0
+
+
 def _cmd_report(args) -> int:
     if args.report_kind == "critical-path":
         return _cmd_report_critical_path(args)
+    if args.report_kind == "degradation":
+        return _cmd_report_degradation(args)
     return _cmd_report_qos(args)
 
 
@@ -657,6 +787,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-RPC timeout in seconds")
     p.add_argument("--breakers", action="store_true",
                    help="enable per-edge circuit breakers")
+    p.add_argument("--degradation", action="store_true",
+                   help="arm graceful degradation: criticality-aware "
+                        "front-door shedding, brownout control, and "
+                        "the app's declared degradation policies")
     p.add_argument("--metrics-out", metavar="FILE", default=None,
                    help="write Prometheus text exposition to FILE")
     p.add_argument("--traces-out", metavar="FILE", default=None,
@@ -693,6 +827,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable episode report")
     _add_sampling_flags(p)
+
+    p = report_sub.add_parser(
+        "degradation",
+        help="run with graceful degradation armed and report the "
+             "brownout trajectory and per-class goodput/utility")
+    p.add_argument("app", choices=app_names())
+    p.add_argument("--qps", type=float, default=100.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--delay", metavar="SERVICE:SECONDS",
+                   type=lambda t: _parse_fault(t, "SECONDS"),
+                   action="append", default=[],
+                   help="add fixed latency to one tier (repeatable)")
+    p.add_argument("--slow", metavar="SERVICE:FACTOR",
+                   type=lambda t: _parse_fault(t, "FACTOR"),
+                   action="append", default=[],
+                   help="multiply one tier's CPU work (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable degradation report")
 
     p = report_sub.add_parser(
         "critical-path",

@@ -30,13 +30,16 @@ from ..cluster.placement import BinPackPlacer, SpreadPlacer
 from ..net.fabric import NetworkFabric
 from ..net.protocols import costs_for
 from ..resilience import (
+    FALLBACK_STALE_CACHE,
     STATUS_DEADLINE,
+    STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OPEN,
     STATUS_SHED,
     STATUS_TIMEOUT,
     CircuitBreaker,
+    DegradationManager,
     LoadShedder,
     RequestContext,
     ResiliencePolicy,
@@ -75,7 +78,8 @@ class Deployment:
                  share_machine_cpu: bool = False,
                  policies: Optional[Dict[str, ResiliencePolicy]] = None,
                  default_policy: Optional[ResiliencePolicy] = None,
-                 shedder: Optional[LoadShedder] = None):
+                 shedder: Optional[LoadShedder] = None,
+                 degradation: Optional[DegradationManager] = None):
         if lb_policy not in _LB_POLICIES:
             raise ValueError(f"unknown lb policy {lb_policy!r}")
         if placement not in ("spread", "binpack"):
@@ -131,6 +135,12 @@ class Deployment:
         self.default_policy = default_policy
         #: Front-tier admission control; ``None`` admits everything.
         self.shedder = shedder
+        #: Graceful-degradation manager (criticality-aware shedding,
+        #: subtree drops, fallbacks, brownout); ``None`` = full
+        #: fidelity or error, the historical binary behaviour.
+        self.degradation = degradation
+        if degradation is not None:
+            degradation.bind(self.env, shedder)
         #: Counters for retry/timeout/breaker/shed/deadline events.
         self.resilience_stats: Counter = Counter()
         self._breakers: Dict[Tuple, CircuitBreaker] = {}
@@ -297,6 +307,15 @@ class Deployment:
         """Install (or remove) front-tier admission control."""
         self.shedder = shedder
 
+    def set_degradation(self,
+                        manager: Optional[DegradationManager]) -> None:
+        """Arm graceful degradation (binds the brownout controller to
+        this deployment's clock and shedder).  Must be called before
+        traffic starts; the tick process runs for the rest of the sim."""
+        self.degradation = manager
+        if manager is not None:
+            manager.bind(self.env, self.shedder)
+
     def breaker_for(self, caller: str, callee: str,
                     instance_id: Optional[str] = None) -> Optional[CircuitBreaker]:
         """The breaker guarding one call edge, if it exists yet."""
@@ -311,6 +330,10 @@ class Deployment:
     def retry_budget_for(self, service: str) -> Optional[RetryBudget]:
         """The shared retry budget for one callee service, if any."""
         return self._retry_budgets.get(service)
+
+    def retry_budgets(self) -> Dict[str, RetryBudget]:
+        """All instantiated retry budgets, keyed by callee service."""
+        return dict(self._retry_budgets)
 
     def utilization(self, service: str) -> float:
         """Mean instantaneous CPU utilization across a tier's replicas."""
@@ -447,11 +470,16 @@ class Deployment:
                     if self._expired(ctx):
                         failed = STATUS_DEADLINE
                         break
+                    if self.degradation is not None and ctx is not None:
+                        group = self._degrade_group(group, span, ctx)
+                        if not group:
+                            continue
                     if len(group) == 1:
                         child = yield from self._dispatch(
                             group[0], inst, operation, user, ctx)
                         span.children.append(child)
-                        if child.status != STATUS_OK:
+                        if child.status not in (STATUS_OK,
+                                                STATUS_DEGRADED):
                             failed = child.status
                             break
                     else:
@@ -465,7 +493,9 @@ class Deployment:
                         children = [results[i] for i in range(len(procs))]
                         span.children.extend(children)
                         bad = next((c for c in children
-                                    if c.status != STATUS_OK), None)
+                                    if c.status not in (STATUS_OK,
+                                                        STATUS_DEGRADED)),
+                                   None)
                         if bad is not None:
                             failed = bad.status
                             break
@@ -505,6 +535,73 @@ class Deployment:
         span.end = self.env.now
         return span
 
+    # -- graceful degradation ----------------------------------------------
+    def _degrade_group(self, group, span: Span,
+                       ctx: RequestContext) -> List[CallNode]:
+        """Apply subtree drops and fan-out reduction to one call group.
+
+        Deterministic (no RNG): drops are level-gated per policy, and
+        fan-out trimming keeps the *first* k trimmable shards in
+        declaration order.  Sacrificed services are recorded on the
+        parent span's ``dropped`` annotation and cost the request
+        fidelity."""
+        mgr = self.degradation
+        crit = ctx.criticality
+        kept: List[CallNode] = []
+        dropped: List[str] = []
+        for child in group:
+            if mgr.maybe_drop(child.service, crit):
+                dropped.append(child.service)
+                ctx.degrade(mgr.policies[child.service].fidelity_cost)
+                self.resilience_stats["subtrees_dropped"] += 1
+            else:
+                kept.append(child)
+        if len(kept) > 1:
+            keep = mgr.fanout_keep([c.service for c in kept], crit)
+            if keep is not None:
+                trimmable = [c for c in kept
+                             if mgr.can_trim(c.service, crit)]
+                for child in trimmable[keep:]:
+                    mgr.note_fanout_cut(child.service)
+                    ctx.degrade(
+                        mgr.policies[child.service].fidelity_cost)
+                    self.resilience_stats["fanout_trimmed"] += 1
+                    dropped.append(child.service)
+                    kept.remove(child)
+        if dropped:
+            prev = span.annotations.get("dropped")
+            joined = ",".join(dropped)
+            span.annotations["dropped"] = \
+                f"{prev},{joined}" if prev else joined
+        return kept
+
+    def _apply_fallback(self, node: CallNode, span: Span,
+                        ctx: Optional[RequestContext]) -> Span:
+        """Mask a terminal RPC failure with the callee's declared
+        fallback: the span keeps its (real) cost but finishes
+        ``degraded`` instead of failing the parent."""
+        mgr = self.degradation
+        if (mgr is None or ctx is None
+                or span.status not in (STATUS_TIMEOUT, STATUS_ERROR,
+                                       STATUS_OPEN)):
+            return span
+        pol = mgr.fallback_for(node.service)
+        if pol is None:
+            return span
+        span.annotations["fallback"] = pol.fallback
+        span.annotations["fallback_from"] = span.status
+        if pol.fallback == FALLBACK_STALE_CACHE:
+            # Compose with the region layer's staleness accounting:
+            # a stale answer is honestly labelled wherever it comes
+            # from (replication lag or a degradation fallback).
+            span.annotations["stale_read"] = True
+        span.status = STATUS_DEGRADED
+        span.end = self.env.now
+        ctx.degrade(pol.fidelity_cost)
+        mgr.note_fallback(pol.fallback)
+        self.resilience_stats["fallbacks_served"] += 1
+        return span
+
     # -- resilience wrapper ------------------------------------------------
     def _dispatch(self, node: CallNode,
                   caller: Optional[ServiceInstance], operation: str,
@@ -512,10 +609,12 @@ class Deployment:
         """Route one call through its callee's policy (if any)."""
         policy = self.policies.get(node.service, self.default_policy)
         if policy is None:
-            return (yield from self._run_node(node, caller, operation,
-                                              user, ctx))
-        return (yield from self._call_with_policy(node, caller, operation,
-                                                  user, ctx, policy))
+            span = yield from self._run_node(node, caller, operation,
+                                             user, ctx)
+        else:
+            span = yield from self._call_with_policy(
+                node, caller, operation, user, ctx, policy)
+        return self._apply_fallback(node, span, ctx)
 
     def _fast_span(self, service: str, operation: str, status: str,
                    retries: int) -> Span:
@@ -662,11 +761,18 @@ class Deployment:
                        collect: bool = True):
         op = self.app.operations[op_name]
         entry_service = op.root.service
-        if self.shedder is not None and not self.shedder.try_admit():
+        degrading = self.degradation is not None
+        criticality = op.criticality if degrading else None
+        if self.shedder is not None \
+                and not self.shedder.try_admit(criticality):
             # Admission control at the front tier: reject in O(1)
             # before the request consumes any cluster resources.
+            # With degradation armed the admission is class-aware —
+            # sheddable traffic loses headroom first.
             self.resilience_stats["shed"] += 1
             span = self._fast_span(entry_service, op_name, STATUS_SHED, 0)
+            if degrading:
+                span.annotations["criticality"] = op.criticality
             trace = Trace(operation=op_name, root=span, user=user)
             if collect:
                 self.collector.collect(trace)
@@ -675,13 +781,37 @@ class Deployment:
             ctx = None
             entry_policy = self.policies.get(entry_service,
                                              self.default_policy)
+            deadline = None
+            propagate = True
             if entry_policy is not None and entry_policy.deadline \
                     is not None:
-                ctx = RequestContext(
-                    deadline=self.env.now + entry_policy.deadline,
-                    propagate=entry_policy.propagate_deadline)
+                deadline = self.env.now + entry_policy.deadline
+                propagate = entry_policy.propagate_deadline
+            if deadline is not None or degrading:
+                # Degradation always needs a context: the criticality
+                # class and fidelity score ride it down the tree.
+                ctx = RequestContext(deadline=deadline,
+                                     propagate=propagate,
+                                     criticality=op.criticality)
             root_span = yield from self._dispatch(op.root, None, op_name,
                                                   user, ctx)
+            if degrading:
+                ann = root_span.annotations
+                ann["criticality"] = op.criticality
+                ann["fidelity"] = round(ctx.fidelity, 4)
+                ann["degraded"] = ctx.degraded
+                # Every terminal outcome feeds the brownout signal —
+                # success-only sampling is survivor-biased and goes
+                # *quiet* during a collapse.  Completions feed the
+                # latency window; failures feed the failure fraction
+                # (a breaker rejection or deadline kill can finish in
+                # near-zero time, so timing it would read as calm).
+                # Shed requests return earlier and never reach here.
+                if root_span.status in (STATUS_OK, STATUS_DEGRADED):
+                    self.degradation.observe_latency(
+                        root_span.end - root_span.start)
+                else:
+                    self.degradation.observe_failure()
             trace = Trace(operation=op_name, root=root_span, user=user)
             if collect:
                 self.collector.collect(trace)

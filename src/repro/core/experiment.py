@@ -209,6 +209,7 @@ def simulate(app: Application,
              policies: Optional[Dict[str, object]] = None,
              default_policy: Optional[object] = None,
              shedder: Optional[object] = None,
+             degradation: Optional[object] = None,
              setup: Optional[Callable[[Deployment], None]] = None,
              sampler: Optional[object] = None,
              keep_traces: Optional[int] = None,
@@ -216,7 +217,9 @@ def simulate(app: Application,
     """One-call convenience: build env + cluster + deployment and run.
 
     ``policies``/``default_policy``/``shedder`` pass resilience
-    configuration (:mod:`repro.resilience`) through to the deployment.
+    configuration (:mod:`repro.resilience`) through to the deployment,
+    and ``degradation`` (a :class:`~repro.resilience.DegradationManager`)
+    arms graceful degradation on top of it.
     ``setup`` runs against the fresh deployment before load starts —
     the hook for fault injection (``slow_down_service``, ``delay_
     service``, ...) and for scheduling mid-run events on its env.
@@ -242,7 +245,8 @@ def simulate(app: Application,
     deployment = Deployment(env, app, cluster, replicas=replicas,
                             cores=cores, seed=seed, policies=policies,
                             default_policy=default_policy,
-                            shedder=shedder, collector=collector)
+                            shedder=shedder, collector=collector,
+                            degradation=degradation)
     if setup is not None:
         setup(deployment)
     return run_experiment(deployment, qps, duration, seed=seed + 1,

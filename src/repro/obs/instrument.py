@@ -26,7 +26,13 @@ repro_breaker_state                 gauge   caller, callee, instance
 repro_breaker_opened_total          counter caller, callee, instance
 repro_resilience_events_total       counter event
 repro_shed_requests_total           counter (none)
+repro_shed_requests_by_class_total  counter criticality
+repro_admitted_requests_total       counter (none)
 repro_inflight_requests             gauge   (none)
+repro_retry_budget_tokens           gauge   service
+repro_degradation_level             gauge   criticality
+repro_degradation_events_total      counter kind, target
+repro_brownout_transitions_total    counter (none)
 repro_cache_requests_total          counter service, outcome
 repro_cache_hit_ratio               gauge   service
 repro_offered_requests_total        counter (none)
@@ -54,6 +60,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..resilience.breaker import CLOSED, HALF_OPEN
+from ..resilience.degrade import CRITICALITIES
 from .registry import MetricsRegistry
 
 __all__ = [
@@ -111,9 +118,31 @@ def instrument_deployment(registry: MetricsRegistry, deployment) -> None:
     shed_total = registry.counter(
         "repro_shed_requests_total",
         "Requests refused admission at the front tier")
+    shed_by_class = registry.counter(
+        "repro_shed_requests_by_class_total",
+        "Front-tier rejections by criticality class",
+        ("criticality",))
+    admitted_total = registry.counter(
+        "repro_admitted_requests_total",
+        "Requests admitted past the front tier")
     inflight = registry.gauge(
         "repro_inflight_requests",
         "End-to-end requests currently admitted")
+    budget_tokens = registry.gauge(
+        "repro_retry_budget_tokens",
+        "Retry-budget tokens available per callee service",
+        ("service",))
+    degradation_level = registry.gauge(
+        "repro_degradation_level",
+        "Brownout degradation level effective per criticality class",
+        ("criticality",))
+    degradation_events = registry.counter(
+        "repro_degradation_events_total",
+        "Degradation sacrifices by kind and target (dropped subtrees, "
+        "fallbacks served, fan-out cuts)", ("kind", "target"))
+    brownout_transitions = registry.counter(
+        "repro_brownout_transitions_total",
+        "Brownout controller level changes")
     cache_reqs = registry.counter(
         "repro_cache_requests_total",
         "Cache lookups by outcome", ("service", "outcome"))
@@ -175,8 +204,35 @@ def instrument_deployment(registry: MetricsRegistry, deployment) -> None:
             resilience.labels(event=event).set_total(
                 deployment.resilience_stats[event])
         if deployment.shedder is not None:
-            shed_total.labels().set_total(deployment.shedder.shed)
-            inflight.labels().set(deployment.shedder.in_flight)
+            shedder = deployment.shedder
+            shed_total.labels().set_total(shedder.shed)
+            admitted_total.labels().set_total(shedder.admitted)
+            inflight.labels().set(shedder.in_flight)
+            for crit in sorted(shedder.shed_by_class):
+                shed_by_class.labels(criticality=crit).set_total(
+                    shedder.shed_by_class[crit])
+        for service in sorted(deployment.retry_budgets()):
+            budget = deployment.retry_budgets()[service]
+            budget_tokens.labels(service=service).set(budget.tokens)
+        manager = getattr(deployment, "degradation", None)
+        if manager is not None:
+            for crit in CRITICALITIES:
+                degradation_level.labels(criticality=crit).set(
+                    manager.level_for(crit))
+            for service in sorted(manager.drops):
+                degradation_events.labels(
+                    kind="drop", target=service).set_total(
+                    manager.drops[service])
+            for fallback in sorted(manager.fallbacks):
+                degradation_events.labels(
+                    kind="fallback", target=fallback).set_total(
+                    manager.fallbacks[fallback])
+            for service in sorted(manager.fanout_cuts):
+                degradation_events.labels(
+                    kind="fanout", target=service).set_total(
+                    manager.fanout_cuts[service])
+            brownout_transitions.labels().set_total(
+                len(manager.events))
         for service in sorted(deployment.cache_stats):
             stats = deployment.cache_stats[service]
             hits = stats.get("hit", 0)

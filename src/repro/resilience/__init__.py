@@ -14,7 +14,12 @@ stack that contains it — is traffic-management policy:
 * per-edge **circuit breakers** (closed/open/half-open on a rolling
   error rate) that fail fast instead of queueing on a dead tier;
 * front-tier **load shedding** so the system serves fewer requests
-  well rather than all requests badly.
+  well rather than all requests badly;
+* **graceful degradation** (:mod:`repro.resilience.degrade`) so
+  overload browns the system out instead of blacking it out: requests
+  carry criticality classes, optional subtrees are dropped and
+  fallbacks served under a deterministic brownout controller, and
+  responses carry fidelity scores for utility accounting.
 
 :mod:`repro.core.deployment` consumes these policies in its RPC
 execution path; :mod:`repro.tracing` records the outcomes (span status,
@@ -24,10 +29,25 @@ goodput consequences under the Fig. 19/22 fault scenarios.
 
 from .breaker import BreakerConfig, CircuitBreaker
 from .context import RequestContext
+from .degrade import (
+    CRIT_CRITICAL,
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    CRITICALITIES,
+    FALLBACK_DEFAULT,
+    FALLBACK_STALE_CACHE,
+    FALLBACKS,
+    BrownoutConfig,
+    BrownoutEvent,
+    DegradationManager,
+    DegradationPolicy,
+    arm_degradation,
+)
 from .policy import ResiliencePolicy, RetryBudget
-from .shedder import LoadShedder
+from .shedder import LoadShedder, ShedderUnderflowError
 from .status import (
     STATUS_DEADLINE,
+    STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OPEN,
@@ -38,13 +58,27 @@ from .status import (
 )
 
 __all__ = [
+    "arm_degradation",
     "BreakerConfig",
+    "BrownoutConfig",
+    "BrownoutEvent",
     "CircuitBreaker",
+    "CRIT_CRITICAL",
+    "CRIT_DEGRADABLE",
+    "CRIT_SHEDDABLE",
+    "CRITICALITIES",
+    "DegradationManager",
+    "DegradationPolicy",
+    "FALLBACK_DEFAULT",
+    "FALLBACK_STALE_CACHE",
+    "FALLBACKS",
     "LoadShedder",
     "RequestContext",
     "ResiliencePolicy",
     "RetryBudget",
+    "ShedderUnderflowError",
     "STATUS_DEADLINE",
+    "STATUS_DEGRADED",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_OPEN",

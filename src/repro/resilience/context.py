@@ -1,12 +1,19 @@
 """Per-request context carried down the call tree.
 
-The context exists for one purpose today: **deadline propagation**.  A
-request admitted with an end-to-end deadline carries the absolute
-expiry time into every downstream RPC; each tier checks the deadline at
-its scheduling points (before compute segments, before downstream
-groups) and aborts instead of burning CPU on a response nobody will
-wait for.  This is the difference between a retry storm that feeds on
-abandoned work and one that starves.
+The context serves two propagation duties.  First, **deadline
+propagation**: a request admitted with an end-to-end deadline carries
+the absolute expiry time into every downstream RPC; each tier checks
+the deadline at its scheduling points (before compute segments, before
+downstream groups) and aborts instead of burning CPU on a response
+nobody will wait for.  This is the difference between a retry storm
+that feeds on abandoned work and one that starves.
+
+Second, **criticality and fidelity propagation** for the graceful
+degradation layer (:mod:`repro.resilience.degrade`): the request's
+criticality class rides alongside the deadline so every tier can make
+class-aware drop/fallback decisions, and the running fidelity score
+records how much of the full call tree the response actually
+represents (1.0 = full fidelity, decremented per degradation event).
 """
 
 from __future__ import annotations
@@ -31,6 +38,26 @@ class RequestContext:
     #: Set when any party cancels the request outright (reserved for
     #: future cancellation fan-out; deadline expiry does not set it).
     cancelled: bool = False
+    #: Criticality class of the request ("critical" / "degradable" /
+    #: "sheddable"); drives class-aware shedding and drop decisions.
+    criticality: str = "critical"
+    #: Running utility score in [0, 1]; 1.0 until the first
+    #: degradation event, then reduced by each policy's fidelity cost.
+    fidelity: float = 1.0
+    #: Count of degradation events (drops, fallbacks, fan-out cuts)
+    #: applied anywhere in this request's call tree.
+    degraded_events: int = 0
+
+    def degrade(self, fidelity_cost: float) -> None:
+        """Record one degradation event against this request."""
+        self.degraded_events += 1
+        self.fidelity = max(0.0, min(self.fidelity - fidelity_cost,
+                                     1.0))
+
+    @property
+    def degraded(self) -> bool:
+        """True once any degradation event touched the request."""
+        return self.degraded_events > 0
 
     def expired(self, now: float) -> bool:
         """True once the request is past its deadline (or cancelled)."""

@@ -8,37 +8,85 @@ with status ``shed``.  Concurrency is the right admission signal — by
 Little's law a concurrency cap is a latency cap at any given service
 rate, so the bound tracks overload wherever it comes from (slow tiers,
 retry storms, misrouting) without per-cause tuning.
+
+When requests carry a criticality class the shedder becomes
+class-aware: each class is admitted only while in-flight occupancy is
+below its *headroom* — a fraction of the concurrency bound.  Critical
+traffic may use the whole bound; sheddable traffic is refused first as
+occupancy rises ("shed sheddable first, critical last").  The brownout
+controller (:mod:`repro.resilience.degrade`) tightens the non-critical
+headrooms as the degradation level climbs.
 """
 
 from __future__ import annotations
 
-__all__ = ["LoadShedder"]
+from typing import Dict, Optional
+
+__all__ = ["LoadShedder", "ShedderUnderflowError"]
+
+
+class ShedderUnderflowError(RuntimeError):
+    """``release()`` called more times than ``try_admit()`` admitted.
+
+    A double release is always a harness bug (a request accounted for
+    twice); silently clamping would corrupt the in-flight gauge that
+    both the shedder's own admission decisions and the brownout
+    controller's feedback loop read.
+    """
 
 
 class LoadShedder:
     """Bound concurrent in-flight requests at the deployment entry."""
 
-    def __init__(self, max_concurrent: int):
+    def __init__(self, max_concurrent: int,
+                 class_headroom: Optional[Dict[str, float]] = None):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         self.max_concurrent = max_concurrent
         self.in_flight = 0
         self.admitted = 0
         self.shed = 0
+        #: criticality class -> fraction of ``max_concurrent`` that
+        #: class may occupy (absent classes get the full bound).
+        self.class_headroom: Dict[str, float] = dict(
+            class_headroom or {})
+        self.admitted_by_class: Dict[str, int] = {}
+        self.shed_by_class: Dict[str, int] = {}
 
-    def try_admit(self) -> bool:
-        """Admit one request, or shed it."""
-        if self.in_flight >= self.max_concurrent:
+    def limit_for(self, criticality: Optional[str]) -> int:
+        """Effective concurrency bound for one criticality class."""
+        if criticality is None:
+            return self.max_concurrent
+        fraction = self.class_headroom.get(criticality)
+        if fraction is None:
+            return self.max_concurrent
+        return max(1, int(self.max_concurrent * fraction))
+
+    def try_admit(self, criticality: Optional[str] = None) -> bool:
+        """Admit one request, or shed it.
+
+        Without a ``criticality`` the legacy single-bound behaviour is
+        unchanged; with one, the class's headroom applies and per-class
+        counters are kept for the obs layer and scorecards.
+        """
+        if self.in_flight >= self.limit_for(criticality):
             self.shed += 1
+            if criticality is not None:
+                self.shed_by_class[criticality] = \
+                    self.shed_by_class.get(criticality, 0) + 1
             return False
         self.in_flight += 1
         self.admitted += 1
+        if criticality is not None:
+            self.admitted_by_class[criticality] = \
+                self.admitted_by_class.get(criticality, 0) + 1
         return True
 
     def release(self) -> None:
         """One admitted request left the system."""
         if self.in_flight <= 0:
-            raise RuntimeError("release without a matching admit")
+            raise ShedderUnderflowError(
+                "release without a matching admit")
         self.in_flight -= 1
 
     @property
@@ -52,3 +100,10 @@ class LoadShedder:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         self.max_concurrent = max_concurrent
+
+    def set_class_headroom(self, criticality: str,
+                           fraction: float) -> None:
+        """Set one class's admissible share of the concurrency bound."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("headroom fraction must be in (0, 1]")
+        self.class_headroom[criticality] = fraction

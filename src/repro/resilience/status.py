@@ -17,6 +17,7 @@ __all__ = [
     "STATUS_DEADLINE",
     "STATUS_OPEN",
     "STATUS_SHED",
+    "STATUS_DEGRADED",
     "STATUSES",
     "is_failure",
 ]
@@ -33,9 +34,14 @@ STATUS_DEADLINE = "deadline"
 STATUS_OPEN = "open"
 #: The request was refused admission by the front-tier load shedder.
 STATUS_SHED = "shed"
+#: The call was answered by a degradation fallback (stale cache or
+#: default payload) instead of the real tier.  The caller got *a*
+#: response — control flow continues — but the span is not ``ok``:
+#: fallback latencies must not pollute the served-latency recorders.
+STATUS_DEGRADED = "degraded"
 
 STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_ERROR, STATUS_DEADLINE,
-            STATUS_OPEN, STATUS_SHED)
+            STATUS_OPEN, STATUS_SHED, STATUS_DEGRADED)
 
 
 def is_failure(status: str) -> bool:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..resilience.degrade import CRIT_CRITICAL, CRITICALITIES, \
+    DegradationPolicy
 from .calltree import CallNode
 from .definition import ServiceDefinition, ServiceKind
 
@@ -34,12 +36,20 @@ class Operation:
     name: str
     root: CallNode
     weight: float = 1.0
+    #: Criticality class of this request type ("critical" /
+    #: "degradable" / "sheddable"); the degradation layer sheds and
+    #: degrades the least critical classes first.
+    criticality: str = CRIT_CRITICAL
 
     def __post_init__(self):
         if not self.name:
             raise ValueError("operation name must be non-empty")
         if self.weight < 0:
             raise ValueError("weight must be >= 0")
+        if self.criticality not in CRITICALITIES:
+            raise ValueError(
+                f"unknown criticality {self.criticality!r} "
+                f"(choose from: {', '.join(CRITICALITIES)})")
 
 
 @dataclass
@@ -72,6 +82,13 @@ class Application:
     #: Unpinned datastores are multi-primary (lag measured from the
     #: requesting user's home region).
     service_regions: Dict[str, str] = field(default_factory=dict)
+    #: Callee service → what it may sacrifice under brownout (optional
+    #: subtrees, fallbacks, fan-out reduction).  Consumed by the
+    #: degradation layer when ``repro simulate --degradation`` (or a
+    #: :class:`~repro.resilience.DegradationManager`) is armed; inert
+    #: otherwise.
+    degradation_policies: Dict[str, DegradationPolicy] = field(
+        default_factory=dict)
     #: Free-form metadata mirrored from the paper's Table 1.
     metadata: Dict[str, object] = field(default_factory=dict)
 
@@ -112,6 +129,15 @@ class Application:
                 raise ValueError(
                     f"service {name!r} pinned to undeclared region "
                     f"{region!r}")
+        for name, pol in self.degradation_policies.items():
+            if name not in self.services:
+                raise ValueError(
+                    f"degradation policy names undefined service "
+                    f"{name!r}")
+            if pol.service != name:
+                raise ValueError(
+                    f"degradation policy for {name!r} names "
+                    f"{pol.service!r}")
 
     def zone_of(self, service: str) -> str:
         """Placement zone for a service (default: cloud)."""
@@ -188,6 +214,7 @@ class Application:
             service_zones=dict(self.service_zones),
             regions=list(self.regions),
             service_regions=dict(self.service_regions),
+            degradation_policies=dict(self.degradation_policies),
             metadata=dict(self.metadata),
         )
 

@@ -69,6 +69,18 @@ class TraceCollector:
         self.status_counts: Counter = Counter()
         #: Total retries observed across all collected traces.
         self.total_retries = 0
+        #: Criticality class -> per-status completion counts (exact;
+        #: populated only when the degradation layer annotates roots).
+        self.by_criticality: Dict[str, Counter] = {}
+        #: Successful completions that carried >= 1 degradation event
+        #: (dropped subtree, fallback, trimmed fan-out).
+        self.degraded_count = 0
+        #: Successful completions served at full fidelity under an
+        #: armed degradation layer (zero when the layer is off).
+        self.full_fidelity_count = 0
+        #: Criticality class -> [(finish_time, fidelity)] of successful
+        #: completions — the utility log scorecards integrate over.
+        self.utility_log: Dict[str, List[Tuple[float, float]]] = {}
         self.end_to_end = LatencyRecorder(warmup=warmup)
         self.per_service: Dict[str, LatencyRecorder] = defaultdict(
             lambda: LatencyRecorder(warmup=warmup))
@@ -147,6 +159,23 @@ class TraceCollector:
         self.total_collected = trace_number + 1
         self.status_counts[trace.status] += 1
         self.total_retries += trace.retry_count()
+
+        criticality = trace.root.annotations.get("criticality")
+        if criticality is not None:
+            # Utility accounting (exact, never sampled): only present
+            # when the degradation layer stamped the root span.
+            per_class = self.by_criticality.setdefault(
+                criticality, Counter())
+            per_class[trace.status] += 1
+            if trace.status == "ok":
+                fidelity = float(
+                    trace.root.annotations.get("fidelity", 1.0))
+                if trace.root.annotations.get("degraded"):
+                    self.degraded_count += 1
+                else:
+                    self.full_fidelity_count += 1
+                self.utility_log.setdefault(criticality, []).append(
+                    (trace.root.end, fidelity))
 
         latency = trace.latency if latency_override is None \
             else latency_override
@@ -258,3 +287,29 @@ class TraceCollector:
     def services(self) -> List[str]:
         """All services seen so far."""
         return list(self.per_service.keys())
+
+    # -- utility accounting (graceful degradation) ----------------------
+    def ok_by_class(self, start: Optional[float] = None,
+                    end: Optional[float] = None) -> Dict[str, int]:
+        """Successful completions per criticality class in a window."""
+        return {
+            crit: sum(1 for t, _ in entries
+                      if (start is None or t >= start)
+                      and (end is None or t <= end))
+            for crit, entries in self.utility_log.items()
+        }
+
+    def utility_by_class(self, start: Optional[float] = None,
+                         end: Optional[float] = None) -> Dict[str, float]:
+        """Summed fidelity of successful completions per class.
+
+        A full-fidelity response contributes 1.0, a degraded one its
+        (lower) fidelity score; divided by the window length this is
+        the *utility rate* — goodput weighted by how much of each
+        response actually got served."""
+        return {
+            crit: sum(f for t, f in entries
+                      if (start is None or t >= start)
+                      and (end is None or t <= end))
+            for crit, entries in self.utility_log.items()
+        }

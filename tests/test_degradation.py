@@ -1,0 +1,659 @@
+"""Tests for graceful degradation: criticality tiers, degradation
+policies, the brownout controller, criticality-aware shedding,
+fallbacks, fan-out reduction, utility accounting, and the DEG lint
+rules."""
+
+import json
+
+import pytest
+
+from repro.analysis_static.report import format_sarif
+from repro.analysis_static.rules import Finding
+from repro.analysis_static.topology import validate_topology
+from repro.arch import XEON
+from repro.cluster import Cluster
+from repro.core import Deployment, simulate
+from repro.resilience import (
+    CRIT_CRITICAL,
+    CRIT_DEGRADABLE,
+    CRIT_SHEDDABLE,
+    CRITICALITIES,
+    STATUS_DEGRADED,
+    BreakerConfig,
+    BrownoutConfig,
+    CircuitBreaker,
+    DegradationManager,
+    DegradationPolicy,
+    LoadShedder,
+    ResiliencePolicy,
+    ShedderUnderflowError,
+    arm_degradation,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.services import Application, CallNode, Operation, Protocol, \
+    par, seq
+from repro.services.datastores import memcached, mongodb, nginx
+from repro.services.definition import ServiceDefinition, ServiceKind
+from repro.sim import Environment
+
+
+def logic(name, work_us=50.0):
+    return ServiceDefinition(name=name, language="go",
+                             kind=ServiceKind.LOGIC,
+                             work_mean=work_us * 1e-6, work_cv=0.3)
+
+
+def degradable_app():
+    """front -> ads (optional) / cache (stale fallback) / 3-way index
+    fan-out (trimmable), plus a critical write and a sheddable search."""
+    services = {
+        "front": nginx("front"),
+        "ads": logic("ads"),
+        "cache": memcached("cache"),
+        "db": mongodb("db"),
+        "idx0": logic("idx0"),
+        "idx1": logic("idx1"),
+        "idx2": logic("idx2"),
+    }
+    read = Operation(
+        name="read", criticality=CRIT_DEGRADABLE,
+        root=CallNode(service="front", groups=[
+            [CallNode(service="ads")],
+            [CallNode(service="cache")],
+            [CallNode(service="idx0"), CallNode(service="idx1"),
+             CallNode(service="idx2")],
+        ]))
+    write = Operation(
+        name="write",
+        root=CallNode(service="front",
+                      groups=seq(CallNode(service="db"))))
+    search = Operation(
+        name="search", criticality=CRIT_SHEDDABLE,
+        root=CallNode(service="front", groups=par(
+            CallNode(service="idx0"), CallNode(service="idx1"),
+            CallNode(service="idx2"))))
+    policies = {
+        "ads": DegradationPolicy(service="ads", optional=True,
+                                 drop_level=1, fidelity_cost=0.1),
+        "cache": DegradationPolicy(service="cache",
+                                   fallback="stale_cache",
+                                   fidelity_cost=0.2),
+        "idx1": DegradationPolicy(service="idx1", fanout_keep=1,
+                                  fanout_level=1, fidelity_cost=0.1),
+        "idx2": DegradationPolicy(service="idx2", fanout_keep=1,
+                                  fanout_level=1, fidelity_cost=0.1),
+    }
+    return Application(
+        name="degradable", services=services,
+        operations={"read": read, "write": write, "search": search},
+        protocol=Protocol.RPC, qos_latency=0.05,
+        degradation_policies=policies)
+
+
+def deploy(manager=None, shedder=None, env=None):
+    env = env or Environment()
+    cluster = Cluster.homogeneous(env, XEON, 3)
+    return Deployment(env, degradable_app(), cluster,
+                      degradation=manager, shedder=shedder)
+
+
+def run_one(dep, op):
+    proc = dep.execute(op)
+    dep.env.run(until=5.0)
+    return proc.value
+
+
+def quiet_manager(**overrides):
+    """A manager whose tick loop stays out of the way (interval 1e6)."""
+    params = dict(interval=1e6)
+    params.update(overrides)
+    return DegradationManager(
+        policies=degradable_app().degradation_policies,
+        config=BrownoutConfig(**params))
+
+
+# -- policy / config validation -------------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="")
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="a", fallback="cached")
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="a", fidelity_cost=1.5)
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="a", drop_level=0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="a", fanout_keep=0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(service="a", optional=True, never_drop=True)
+
+
+def test_brownout_config_validation():
+    with pytest.raises(ValueError):
+        BrownoutConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        BrownoutConfig(hold_ticks=0)
+    with pytest.raises(ValueError):
+        BrownoutConfig(max_level=0)
+    with pytest.raises(ValueError):
+        BrownoutConfig(err_high=0.0)
+    with pytest.raises(ValueError):
+        BrownoutConfig(err_high=1.5)
+    with pytest.raises(ValueError):
+        BrownoutConfig(err_low=-0.1)
+    # Semantic inversion is DEG003's job, not a construction error.
+    BrownoutConfig(p95_high=0.1, p95_low=0.2)
+
+
+def test_manager_rejects_mismatched_policy_key():
+    with pytest.raises(ValueError, match="names"):
+        DegradationManager(policies={
+            "a": DegradationPolicy(service="b")})
+
+
+def test_operation_criticality_validated():
+    with pytest.raises(ValueError):
+        Operation(name="op", root=CallNode(service="x"),
+                  criticality="urgent")
+    assert Operation(name="op", root=CallNode(service="x")).criticality \
+        == CRIT_CRITICAL
+
+
+# -- brownout feedback law ------------------------------------------------
+
+def brownout_manager(env, shedder=None, **overrides):
+    params = dict(interval=1.0, p95_high=0.1, p95_low=0.05,
+                  inflight_high=0.9, inflight_low=0.6, hold_ticks=2,
+                  min_samples=2)
+    params.update(overrides)
+    mgr = DegradationManager(config=BrownoutConfig(**params))
+    mgr.bind(env, shedder)
+    return mgr
+
+
+def test_brownout_steps_up_on_hot_p95():
+    env = Environment()
+    mgr = brownout_manager(env)
+    for _ in range(3):
+        mgr.observe_latency(0.2)
+    env.run(until=1.1)
+    assert mgr.level == 1
+    assert len(mgr.events) == 1
+    assert mgr.events[0].level_to == 1
+    assert mgr.events[0].p95 == pytest.approx(0.2)
+
+
+def test_brownout_needs_min_samples():
+    env = Environment()
+    mgr = brownout_manager(env, min_samples=5)
+    for _ in range(3):
+        mgr.observe_latency(0.2)
+    env.run(until=1.1)
+    # Too few samples: the window's p95 is untrusted, and an empty
+    # occupancy signal reads calm — the level must not move up.
+    assert mgr.level == 0
+
+
+def test_brownout_recovery_needs_sustained_calm():
+    env = Environment()
+    mgr = brownout_manager(env)  # hold_ticks=2
+    for _ in range(3):
+        mgr.observe_latency(0.2)
+    env.run(until=1.1)
+    assert mgr.level == 1
+    env.run(until=2.1)  # calm tick 1 of 2: hold
+    assert mgr.level == 1
+    env.run(until=3.1)  # calm tick 2: step down
+    assert mgr.level == 0
+    assert [e.level_to for e in mgr.events] == [1, 0]
+
+
+def test_brownout_middle_band_resets_calm_streak():
+    env = Environment()
+    mgr = brownout_manager(env)
+    for _ in range(3):
+        mgr.observe_latency(0.2)
+    env.run(until=1.1)
+    assert mgr.level == 1
+    env.run(until=2.1)  # calm tick 1
+    for _ in range(3):
+        mgr.observe_latency(0.07)  # between p95_low and p95_high
+    env.run(until=3.1)  # neither hot nor calm: streak resets
+    env.run(until=4.1)  # calm tick 1 again — still held
+    assert mgr.level == 1
+    env.run(until=5.1)  # calm tick 2: now it may step down
+    assert mgr.level == 0
+
+
+def test_brownout_error_rate_trigger():
+    env = Environment()
+    mgr = brownout_manager(env)  # err_high=0.1, err_low=0.02 defaults
+    # Fast failures with a calm latency window: a latency-only
+    # controller would read this collapse as quiet.
+    for _ in range(3):
+        mgr.observe_latency(0.01)
+    for _ in range(3):
+        mgr.observe_failure()
+    env.run(until=1.1)
+    assert mgr.level == 1
+    assert mgr.events[0].error_rate == pytest.approx(0.5)
+    # Recovery requires the failure fraction below err_low too: a 10%
+    # failure rate blocks the step down even with fast latencies.
+    for _ in range(2):
+        for _ in range(9):
+            mgr.observe_latency(0.01)
+        mgr.observe_failure()
+        env.run(until=env.now + 1.0)
+    assert mgr.level == 1
+    env.run(until=env.now + 2.0)  # two clean calm ticks
+    assert mgr.level == 0
+
+
+def test_brownout_occupancy_trigger_and_level_cap():
+    env = Environment()
+    shedder = LoadShedder(max_concurrent=10)
+    mgr = brownout_manager(env, shedder=shedder, max_level=2)
+    shedder.in_flight = 10  # occupancy 1.0 >= inflight_high
+    env.run(until=4.1)  # four hot ticks, capped at max_level
+    assert mgr.level == 2
+    assert [e.level_to for e in mgr.events] == [1, 2]
+
+
+def test_class_effective_levels_are_staggered():
+    mgr = DegradationManager()
+    for level, expected in [
+        (0, (0, 0, 0)), (1, (0, 0, 1)), (2, (0, 1, 2)), (3, (1, 2, 3)),
+    ]:
+        mgr.level = level
+        assert tuple(mgr.level_for(c) for c in CRITICALITIES) == expected
+
+
+def test_headroom_tightens_with_level_and_floors():
+    env = Environment()
+    shedder = LoadShedder(max_concurrent=100)
+    mgr = DegradationManager(config=BrownoutConfig(interval=1e6))
+    mgr.bind(env, shedder)
+    assert shedder.class_headroom[CRIT_CRITICAL] == pytest.approx(1.0)
+    mgr.level = 3
+    mgr._apply_headroom()
+    assert shedder.class_headroom[CRIT_CRITICAL] == pytest.approx(1.0)
+    assert shedder.class_headroom[CRIT_DEGRADABLE] == pytest.approx(0.55)
+    # 1 - 3*0.25 = 0.25 exactly at the floor.
+    assert shedder.class_headroom[CRIT_SHEDDABLE] == pytest.approx(0.25)
+
+
+# -- shedder --------------------------------------------------------------
+
+def test_shedder_class_headroom_sheds_sheddable_first():
+    shedder = LoadShedder(max_concurrent=10,
+                          class_headroom={CRIT_SHEDDABLE: 0.5})
+    assert shedder.limit_for(CRIT_SHEDDABLE) == 5
+    assert shedder.limit_for(CRIT_CRITICAL) == 10
+    assert shedder.limit_for(None) == 10
+    for _ in range(5):
+        assert shedder.try_admit(CRIT_SHEDDABLE)
+    assert not shedder.try_admit(CRIT_SHEDDABLE)
+    assert shedder.try_admit(CRIT_CRITICAL)
+    assert shedder.shed_by_class == {CRIT_SHEDDABLE: 1}
+    assert shedder.admitted_by_class == {CRIT_SHEDDABLE: 5,
+                                         CRIT_CRITICAL: 1}
+
+
+def test_shedder_release_underflow_is_typed():
+    shedder = LoadShedder(max_concurrent=2)
+    assert shedder.try_admit()
+    shedder.release()
+    with pytest.raises(ShedderUnderflowError):
+        shedder.release()
+    # The typed error still satisfies legacy RuntimeError handlers.
+    assert issubclass(ShedderUnderflowError, RuntimeError)
+
+
+def test_shedder_headroom_validation():
+    shedder = LoadShedder(max_concurrent=10)
+    with pytest.raises(ValueError):
+        shedder.set_class_headroom(CRIT_SHEDDABLE, 0.0)
+    with pytest.raises(ValueError):
+        shedder.set_class_headroom(CRIT_SHEDDABLE, 1.5)
+    shedder.set_class_headroom(CRIT_SHEDDABLE, 0.3)
+    assert shedder.limit_for(CRIT_SHEDDABLE) == 3
+
+
+def test_arm_degradation_factory():
+    manager, shedder = arm_degradation(degradable_app(), qps=100.0)
+    assert manager.policies["ads"].optional
+    assert manager.config.p95_high == pytest.approx(0.5 * 0.05)
+    assert manager.config.p95_low == pytest.approx(0.3 * 0.05)
+    assert shedder.max_concurrent == max(16, 20)
+
+
+# -- deployment integration -----------------------------------------------
+
+def test_drops_and_fanout_trim_under_brownout():
+    mgr = quiet_manager()
+    dep = deploy(manager=mgr)
+    mgr.level = 3  # degradable sees level 2: drop ads, trim fan-out
+    trace = run_one(dep, "read")
+    assert trace.status == "ok"
+    root = trace.root
+    assert root.annotations["criticality"] == CRIT_DEGRADABLE
+    assert root.annotations["degraded"] is True
+    # ads (0.1) + one trimmed index shard (0.1) leave fidelity 0.8.
+    assert root.annotations["fidelity"] == pytest.approx(0.8)
+    called = {span.service for span in root.walk()}
+    assert "ads" not in called
+    dropped = root.annotations["dropped"].split(",")
+    assert "ads" in dropped and "idx2" in dropped
+    # idx1 survives: keep the first trimmable shard in order.
+    assert "idx1" in called and "idx2" not in called
+    assert mgr.drops["ads"] == 1
+    assert mgr.fanout_cuts["idx2"] == 1
+    assert dep.resilience_stats["subtrees_dropped"] == 1
+    assert dep.resilience_stats["fanout_trimmed"] == 1
+
+
+def test_critical_class_shielded_from_low_levels():
+    mgr = quiet_manager()
+    dep = deploy(manager=mgr)
+    mgr.level = 2  # critical still sees level 0
+    trace = run_one(dep, "write")
+    assert trace.status == "ok"
+    assert trace.root.annotations["criticality"] == CRIT_CRITICAL
+    assert trace.root.annotations["fidelity"] == pytest.approx(1.0)
+    assert trace.root.annotations["degraded"] is False
+    assert mgr.degradation_events == 0
+
+
+def test_fallback_masks_terminal_failure():
+    mgr = quiet_manager()
+    dep = deploy(manager=mgr)
+    dep.inject_error_rate("cache", 1.0)
+    trace = run_one(dep, "read")
+    assert trace.status == "ok"  # the fallback saved the request
+    cache_span = next(s for s in trace.root.walk()
+                      if s.service == "cache")
+    assert cache_span.status == STATUS_DEGRADED
+    assert cache_span.annotations["fallback"] == "stale_cache"
+    assert cache_span.annotations["fallback_from"] == "error"
+    assert cache_span.annotations["stale_read"] is True
+    assert trace.root.annotations["fidelity"] == pytest.approx(0.8)
+    assert mgr.fallbacks["stale_cache"] == 1
+    assert dep.resilience_stats["fallbacks_served"] == 1
+
+
+def test_failure_without_fallback_still_fails():
+    mgr = quiet_manager()
+    dep = deploy(manager=mgr)
+    dep.inject_error_rate("db", 1.0)  # db has no fallback policy
+    trace = run_one(dep, "write")
+    assert trace.status == "error"
+    assert mgr.fallbacks == {}
+
+
+def test_shed_span_carries_criticality():
+    mgr = quiet_manager()
+    shedder = LoadShedder(max_concurrent=1)
+    dep = deploy(manager=mgr, shedder=shedder)
+    shedder.in_flight = 1  # at the bound: next arrival is refused
+    trace = run_one(dep, "search")
+    assert trace.status == "shed"
+    assert trace.root.annotations["criticality"] == CRIT_SHEDDABLE
+    assert shedder.shed_by_class == {CRIT_SHEDDABLE: 1}
+
+
+def test_collector_utility_accounting():
+    mgr = quiet_manager()
+    dep = deploy(manager=mgr)
+    mgr.level = 3
+    dep.execute("read")
+    dep.execute("write")
+    dep.env.run(until=5.0)
+    collector = dep.collector
+    assert collector.by_criticality[CRIT_DEGRADABLE]["ok"] == 1
+    assert collector.by_criticality[CRIT_CRITICAL]["ok"] == 1
+    assert collector.degraded_count == 1
+    assert collector.full_fidelity_count == 1
+    assert collector.ok_by_class() == {CRIT_DEGRADABLE: 1,
+                                       CRIT_CRITICAL: 1}
+    utility = collector.utility_by_class()
+    assert utility[CRIT_DEGRADABLE] == pytest.approx(0.8)
+    assert utility[CRIT_CRITICAL] == pytest.approx(1.0)
+    # Windowing: nothing completed before t=0.
+    assert collector.ok_by_class(end=0.0) == {CRIT_DEGRADABLE: 0,
+                                              CRIT_CRITICAL: 0}
+
+
+def test_legacy_runs_carry_no_utility_accounting():
+    dep = deploy()  # no degradation manager
+    trace = run_one(dep, "read")
+    assert trace.status == "ok"
+    assert "criticality" not in trace.root.annotations
+    assert dep.collector.by_criticality == {}
+    assert dep.collector.degraded_count == 0
+    assert dep.collector.full_fidelity_count == 0
+
+
+def test_degradation_is_deterministic():
+    def once():
+        app = degradable_app()
+        manager, shedder = arm_degradation(app, qps=200.0)
+        def setup(dep):
+            dep.slow_down_service("db", 200.0)
+            dep.inject_error_rate("cache", 0.5)
+
+        result = simulate(
+            app, qps=200.0, duration=8.0, n_machines=2, seed=17,
+            degradation=manager, shedder=shedder, setup=setup)
+        collector = result.collector
+        return (manager.event_log(), dict(manager.drops),
+                dict(manager.fallbacks), dict(manager.fanout_cuts),
+                dict(shedder.shed_by_class),
+                collector.utility_by_class(),
+                collector.degraded_count,
+                collector.full_fidelity_count)
+
+    first, second = once(), once()
+    assert first == second
+    # The scenario actually exercised the machinery.
+    assert first[6] > 0
+
+
+# -- satellite: breaker half-open concurrency, backoff boundaries ---------
+
+def tripped_breaker(env, **kwargs):
+    defaults = dict(window=10, min_volume=4, failure_threshold=0.5,
+                    reset_timeout=1.0)
+    defaults.update(kwargs)
+    breaker = CircuitBreaker(env, BreakerConfig(**defaults))
+    for _ in range(4):
+        breaker.record(False)
+    assert breaker.state == OPEN
+    return breaker
+
+
+def test_half_open_admits_bounded_concurrent_probes():
+    env = Environment()
+    breaker = tripped_breaker(env, half_open_probes=2)
+    env.run(until=1.5)  # past reset_timeout
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()
+    assert breaker.allow()
+    rejected_before = breaker.rejected
+    assert not breaker.allow()  # third concurrent probe refused
+    assert breaker.rejected == rejected_before + 1
+    # One probe fails: re-open, and the other outstanding probe's
+    # outcome must not close the re-opened breaker.
+    breaker.record(False)
+    assert breaker.state == OPEN
+    breaker.record(True)
+    assert breaker.state == OPEN
+
+
+def test_half_open_probe_success_closes_and_resets_window():
+    env = Environment()
+    breaker = tripped_breaker(env)
+    env.run(until=1.5)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()
+    breaker.record(True)
+    assert breaker.state == CLOSED
+    # The window restarted: old failures are gone.
+    assert breaker.error_rate() == pytest.approx(0.0)
+
+
+def test_backoff_delay_retry_number_boundaries():
+    policy = ResiliencePolicy(max_retries=3, backoff_base=0.01,
+                              backoff_multiplier=3.0,
+                              backoff_jitter=0.0)
+    with pytest.raises(ValueError, match="1-based"):
+        policy.backoff_delay(0)
+    assert policy.backoff_delay(1) == pytest.approx(0.01)
+    assert policy.backoff_delay(2) == pytest.approx(0.03)
+    # Beyond max_retries the formula still holds (callers gate count).
+    assert policy.backoff_delay(4) == pytest.approx(0.27)
+    no_backoff = ResiliencePolicy(max_retries=2)
+    assert no_backoff.backoff_delay(1) == 0.0
+
+
+# -- DEG lint rules -------------------------------------------------------
+
+def lint(services, operations, **kwargs):
+    return validate_topology(services, operations, **kwargs)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def test_deg001_policy_on_uncalled_service():
+    services = {"a": logic("a"), "b": logic("b")}
+    ops = {"op": Operation(name="op", root=CallNode(service="a"))}
+    findings = lint(services, ops, degradation_policies={
+        "b": DegradationPolicy(service="b", optional=True)})
+    assert "DEG001" in codes(findings)
+
+
+def test_deg002_never_drop_inside_droppable_subtree():
+    services = {"front": logic("front"), "ads": logic("ads"),
+                "auth": logic("auth")}
+    ops = {"op": Operation(name="op", root=CallNode(
+        service="front", groups=seq(CallNode(
+            service="ads", groups=seq(CallNode(service="auth"))))))}
+    policies = {
+        "ads": DegradationPolicy(service="ads", optional=True),
+        "auth": DegradationPolicy(service="auth", never_drop=True),
+    }
+    findings = lint(services, ops, degradation_policies=policies)
+    assert codes(findings).count("DEG002") == 1
+    # Outside the optional subtree the same pair is fine.
+    ops_ok = {"op": Operation(name="op", root=CallNode(
+        service="front", groups=seq(CallNode(service="ads"),
+                                    CallNode(service="auth"))))}
+    assert "DEG002" not in codes(
+        lint(services, ops_ok, degradation_policies=policies))
+
+
+def test_deg003_inverted_brownout_bounds():
+    services = {"a": logic("a")}
+    ops = {"op": Operation(name="op", root=CallNode(service="a"))}
+    findings = lint(services, ops,
+                    brownout=BrownoutConfig(p95_high=0.1, p95_low=0.2,
+                                            inflight_high=0.5,
+                                            inflight_low=0.6,
+                                            err_high=0.02,
+                                            err_low=0.1))
+    assert codes(findings).count("DEG003") == 3
+
+
+def test_deg003_unreachable_drop_level():
+    services = {"a": logic("a"), "b": logic("b")}
+    ops = {"op": Operation(name="op", root=CallNode(
+        service="a", groups=seq(CallNode(service="b"))))}
+    findings = lint(services, ops, degradation_policies={
+        "b": DegradationPolicy(service="b", optional=True,
+                               drop_level=5)})
+    assert "DEG003" in codes(findings)
+    findings = lint(services, ops, degradation_policies={
+        "b": DegradationPolicy(service="b", fanout_keep=1,
+                               fanout_level=9)})
+    assert "DEG003" in codes(findings)
+    # A raised max_level makes the same policy reachable.
+    assert "DEG003" not in codes(lint(
+        services, ops,
+        degradation_policies={
+            "b": DegradationPolicy(service="b", optional=True,
+                                   drop_level=5)},
+        brownout=BrownoutConfig(max_level=5)))
+
+
+def test_deg004_stale_cache_needs_a_stale_copy():
+    services = {"a": logic("a"), "svc": logic("svc"),
+                "cache": memcached("cache"), "db": mongodb("db")}
+    root = CallNode(service="a", groups=seq(
+        CallNode(service="svc"), CallNode(service="cache"),
+        CallNode(service="db")))
+    ops = {"op": Operation(name="op", root=root)}
+    stale = lambda name: DegradationPolicy(service=name,
+                                           fallback="stale_cache")
+    # Plain logic tier: nothing holds a stale copy.
+    findings = lint(services, ops,
+                    degradation_policies={"svc": stale("svc")})
+    assert "DEG004" in codes(findings)
+    # A cache tier is fine; so is a region-replicated store.
+    assert "DEG004" not in codes(lint(
+        services, ops, degradation_policies={"cache": stale("cache")}))
+    assert "DEG004" not in codes(lint(
+        services, ops, degradation_policies={"db": stale("db")},
+        regions=["us-east"], service_regions={"db": "us-east"}))
+
+
+def test_registered_apps_pass_deg_rules():
+    from repro.analysis_static.topology import check_registry
+    for name, findings in check_registry().items():
+        assert not [f for f in findings
+                    if f.code.startswith("DEG")], (name, findings)
+
+
+def test_deg_findings_render_to_sarif():
+    finding = Finding(code="DEG004", message="no stale copy",
+                      path="app")
+    sarif = json.loads(format_sarif([finding]))
+    run = sarif["runs"][0]
+    rule_ids = [r["id"] for r in
+                run["tool"]["driver"]["rules"]]
+    assert "DEG004" in rule_ids
+    assert run["results"][0]["ruleId"] == "DEG004"
+
+
+# -- obs gauges -----------------------------------------------------------
+
+def test_degradation_metrics_exported():
+    app = degradable_app()
+    manager, shedder = arm_degradation(app, qps=150.0)
+    def setup(dep):
+        dep.slow_down_service("db", 200.0)
+        dep.inject_error_rate("cache", 0.5)
+
+    result = simulate(
+        app, qps=150.0, duration=8.0, n_machines=2, seed=5,
+        degradation=manager, shedder=shedder, metrics=True,
+        setup=setup)
+    reg = result.metrics
+    for crit in CRITICALITIES:
+        level = reg.value("repro_degradation_level", criticality=crit)
+        assert level == manager.level_for(crit)
+    assert reg.value("repro_brownout_transitions_total") \
+        == len(manager.events)
+    assert reg.value("repro_admitted_requests_total") \
+        == shedder.admitted
+    total_events = 0
+    for kind, counter in [("drop", manager.drops),
+                          ("fallback", manager.fallbacks),
+                          ("fanout", manager.fanout_cuts)]:
+        for target, count in counter.items():
+            assert reg.value("repro_degradation_events_total",
+                             kind=kind, target=target) == count
+            total_events += count
+    assert total_events == manager.degradation_events
+    assert manager.degradation_events > 0  # scenario engaged
