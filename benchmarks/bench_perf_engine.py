@@ -82,6 +82,39 @@ def _scenario_mix(app):
 SAMPLE_RATE = 0.1
 SAMPLE_SEED = 1
 
+#: The scale probe: a *generated* mesh (64 services — nearly twice the
+#: largest built-in app) at the same offered load, uninstrumented.
+#: The built-in scenario above measures per-event overheads on a
+#: realistic graph; this one measures how events/sec holds up when the
+#: graph itself grows — fan-out joins, shared downstream revisits, and
+#: per-service state all scale with the topology, and a regression
+#:  that only bites at scale would hide in the 36-service number.  The
+#: generator spec is fixed, so the simulated workload is byte-stable.
+SCALE_SCENARIO = {
+    "app": "synth:mesh:n64:seed3",
+    "qps": 80.0,
+    "duration": 60.0,
+    "machines": 8,
+    "seed": 7,
+}
+
+
+def run_scale_probe():
+    """One uninstrumented (obs-off) run of the fixed generated mesh.
+
+    Returns ``(result, wall)``; feeds the ``scale_probe`` block of
+    ``BENCH_perf_engine.json``."""
+    app = build_app(SCALE_SCENARIO["app"])
+    replicas = balanced_provision(
+        app, target_qps=max(SCALE_SCENARIO["qps"] * 1.5, 50))
+    start = time.perf_counter()  # simlint: disable=SIM002
+    result = simulate(app, qps=SCALE_SCENARIO["qps"],
+                      duration=SCALE_SCENARIO["duration"],
+                      n_machines=SCALE_SCENARIO["machines"],
+                      replicas=replicas, seed=SCALE_SCENARIO["seed"])
+    wall = time.perf_counter() - start  # simlint: disable=SIM002
+    return result, wall
+
 
 def _run_mode(mode):
     """One deterministic run in one observability mode.
@@ -185,9 +218,21 @@ def test_perf_engine(benchmark):
             f"sampled p{p * 100:.0f} drifted {samp_tail:.6f} vs " \
             f"{full_tail:.6f}"
 
+    scale_result, scale_wall = run_scale_probe()
+    scale_app = scale_result.deployment.app
+    assert len(scale_app.services) >= 64, \
+        "the scale probe must exercise a graph bigger than any " \
+        "built-in app"
+    assert scale_result.completion_ratio() > 0.95, \
+        "the scale probe must not saturate — it measures the engine " \
+        "at graph scale, not queueing"
+
     off = _mode_stats(off_result, off_wall)
     full = _mode_stats(full_result, full_wall)
     sampled = _mode_stats(samp_result, samp_wall)
+    scale = _mode_stats(scale_result, scale_wall)
+    scale["services"] = len(scale_app.services)
+    scale["operations"] = len(scale_app.operations)
     sampled["effective_sample_size"] = \
         samp_result.collector.effective_sample_size
     sampled["stored_traces"] = samp_result.collector.total_stored
@@ -220,6 +265,7 @@ def test_perf_engine(benchmark):
             resource.RUSAGE_SELF).ru_maxrss,
         "modes": {"obs-off": off, "obs-full": full,
                   "obs-sampled": sampled},
+        "scale_probe": {"scenario": SCALE_SCENARIO, **scale},
         "profile": recorder.to_dict(),
         "sampling": samp_result.collector.sampling_description(),
         "sampled_vs_full_speedup": round(speedup, 2),
@@ -236,6 +282,10 @@ def test_perf_engine(benchmark):
             f"{key}={stats[key]}" for key in sorted(stats)))
     lines.append(f"sampled_vs_full_speedup: {speedup:.2f}x "
                  f"(gate: >= 2.0x)")
+    lines.append("[scale-probe] " + json.dumps(SCALE_SCENARIO,
+                                               sort_keys=True))
+    lines.append("[scale-probe] " + "  ".join(
+        f"{key}={scale[key]}" for key in sorted(scale)))
     lines.append("sampled artifacts byte-identical across same-seed "
                  "runs: True")
     report("BENCH_perf_engine", "\n".join(lines),

@@ -27,6 +27,9 @@ deployment configurations that are doomed before the first event:
   consistency (``CFG001``-``CFG004``): breakers that can never trip,
   no-op shedders, unsatisfiable staleness bounds, and front-door
   detection slower than the declared MTTR gate.
+* :mod:`repro.analysis_static.synthcheck` — synthetic-topology checks
+  (``SYN001``-``SYN002``): generator parameters outside the documented
+  envelope, and trace exports too thin or inconsistent to clone.
 
 Run it as ``python -m repro.analysis_static [paths]`` (or ``--app NAME
 --load RPS`` for flow analysis) or via the main CLI as ``repro lint``;
@@ -47,6 +50,7 @@ from .flow import (
 from .policycheck import check_policies
 from .rules import ALL_RULES, Finding, Severity
 from .simlint import lint_file, lint_paths, lint_source
+from .synthcheck import PATTERNS, check_generator_params, check_trace_set
 from .topology import (
     TopologyError,
     check_registry,
@@ -59,14 +63,17 @@ __all__ = [
     "DeploymentPlan",
     "Finding",
     "InfeasiblePlanError",
+    "PATTERNS",
     "Severity",
     "TopologyError",
     "analyze_flow",
     "assert_feasible",
     "check_capacity",
     "check_deadlines",
+    "check_generator_params",
     "check_policies",
     "check_registry",
+    "check_trace_set",
     "lint_file",
     "lint_paths",
     "lint_source",

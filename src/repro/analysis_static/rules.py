@@ -248,6 +248,21 @@ ALL_RULES: Dict[str, tuple] = {
         "use the 'default' fallback, or point the policy at a cache "
         "tier / region-replicated store that actually holds a copy",
     ),
+    "SYN001": (
+        "synthetic-topology generator parameter out of bounds: unknown "
+        "pattern, or a size / fan-out / probability / work range "
+        "outside the documented envelope",
+        "keep parameters inside the envelope: a known pattern, "
+        "3 <= size <= 4096, 1 <= fanout <= 64, probabilities in "
+        "(0, 1], and positive work/payload ranges with lo <= hi",
+    ),
+    "SYN002": (
+        "trace set insufficient for cloning: empty or failure-only "
+        "export, disagreeing entry tiers, or tiers with too few span "
+        "samples for a stable distribution fit",
+        "export more traces from a healthy low-load run of a single "
+        "application (every tier needs samples) before cloning",
+    ),
 }
 
 

@@ -1,0 +1,164 @@
+"""Static checks for the synthetic-topology subsystem (``SYN`` rules).
+
+Two entry points, mirroring the two halves of :mod:`repro.apps.synth`:
+
+* :func:`check_generator_params` — bounds-checks a generator parameter
+  set (``SYN001``) before a topology is built, so an out-of-envelope
+  request fails with a rule-coded report instead of producing a graph
+  that only falls over later in provisioning or simulation.
+* :func:`check_trace_set` — vets an exported trace set for clonability
+  (``SYN002``): the cloner needs successful end-to-end traces from a
+  single application, and enough span samples per tier to fit a
+  service-time distribution that is more than noise.
+
+This module deliberately does not import :mod:`repro.apps.synth` — the
+generator imports *these* checks (analysis is the lower layer), exactly
+as the app registry imports the topology validator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .rules import Finding, Severity
+
+__all__ = ["PATTERNS", "check_generator_params", "check_trace_set"]
+
+#: The supported topology patterns, in canonical order (the muBench
+#: replication sweep covers the same six shapes).
+PATTERNS: Tuple[str, ...] = (
+    "chain",    # sequential chain: entry -> s1 -> ... -> sN
+    "fanout",   # parallel fan-out: entry calls every tier at once
+    "branch",   # chain with branching: a spine with parallel side legs
+    "tree",     # balanced hierarchical k-ary tree
+    "ptree",    # probabilistic tree: sampled subtree operation variants
+    "mesh",     # complex mesh: a random DAG with shared downstreams
+)
+
+#: Documented parameter envelope (the SYN001 hint quotes these bounds).
+MIN_SIZE, MAX_SIZE = 3, 4096
+MAX_FANOUT = 64
+MAX_WORK_US = 100_000.0
+MAX_PAYLOAD_KB = 10_000.0
+MAX_CV = 4.0
+MAX_VARIANTS = 16
+
+
+def _bad(message: str, path: str) -> Finding:
+    return Finding(code="SYN001", message=message, path=path,
+                   severity=Severity.ERROR)
+
+
+def _check_range(errors: List[Finding], label: str,
+                 value: Sequence[float], path: str) -> None:
+    try:
+        lo, hi = float(value[0]), float(value[1])
+    except (TypeError, ValueError, IndexError):
+        errors.append(_bad(f"{label} must be a (lo, hi) pair of "
+                           f"microsecond floats, got {value!r}", path))
+        return
+    if not 0.0 < lo <= hi:
+        errors.append(_bad(
+            f"{label} needs 0 < lo <= hi, got ({lo:g}, {hi:g})", path))
+    elif hi > MAX_WORK_US:
+        errors.append(_bad(
+            f"{label} upper bound {hi:g}us exceeds the "
+            f"{MAX_WORK_US:g}us envelope", path))
+
+
+def check_generator_params(params, path: str = "<synth>"
+                           ) -> List[Finding]:
+    """``SYN001`` findings for a generator parameter set.
+
+    ``params`` is duck-typed (any object with the
+    :class:`repro.apps.synth.GeneratorParams` attributes) so the check
+    stays importable from the analysis layer without a cycle.
+    """
+    errors: List[Finding] = []
+    if params.pattern not in PATTERNS:
+        errors.append(_bad(
+            f"unknown pattern {params.pattern!r} "
+            f"(choose from: {', '.join(PATTERNS)})", path))
+    if not MIN_SIZE <= int(params.size) <= MAX_SIZE:
+        errors.append(_bad(
+            f"size {params.size} outside [{MIN_SIZE}, {MAX_SIZE}]",
+            path))
+    if int(params.seed) < 0:
+        errors.append(_bad(f"seed must be >= 0, got {params.seed}",
+                           path))
+    if not 1 <= int(params.fanout) <= MAX_FANOUT:
+        errors.append(_bad(
+            f"fanout {params.fanout} outside [1, {MAX_FANOUT}]", path))
+    if not 0.0 < float(params.edge_probability) <= 1.0:
+        errors.append(_bad(
+            f"edge_probability {params.edge_probability:g} outside "
+            f"(0, 1]", path))
+    if not 0.0 <= float(params.datastore_fraction) <= 1.0:
+        errors.append(_bad(
+            f"datastore_fraction {params.datastore_fraction:g} outside "
+            f"[0, 1]", path))
+    if not 0.0 <= float(params.work_cv) <= MAX_CV:
+        errors.append(_bad(
+            f"work_cv {params.work_cv:g} outside [0, {MAX_CV:g}]",
+            path))
+    _check_range(errors, "logic_work_us", params.logic_work_us, path)
+    _check_range(errors, "cache_work_us", params.cache_work_us, path)
+    _check_range(errors, "db_work_us", params.db_work_us, path)
+    for label in ("request_kb", "response_kb"):
+        value = float(getattr(params, label))
+        if not 0.0 < value <= MAX_PAYLOAD_KB:
+            errors.append(_bad(
+                f"{label} {value:g} outside (0, {MAX_PAYLOAD_KB:g}]",
+                path))
+    if not 1 <= int(params.variants) <= MAX_VARIANTS:
+        errors.append(_bad(
+            f"variants {params.variants} outside [1, {MAX_VARIANTS}]",
+            path))
+    return errors
+
+
+def check_trace_set(traces: Iterable, min_samples: int = 20,
+                    path: str = "<traces>") -> List[Finding]:
+    """``SYN002`` findings for a trace export offered to the cloner.
+
+    Errors make the set unclonable (empty, failure-only, or mixing
+    entry tiers from different applications); warnings flag tiers whose
+    sample counts are below ``min_samples`` — the clone will build, but
+    those tiers' fitted service-time distributions are unstable.
+    """
+    traces = list(traces)
+    findings: List[Finding] = []
+    if not traces:
+        findings.append(Finding(
+            code="SYN002", message="empty trace set", path=path,
+            severity=Severity.ERROR))
+        return findings
+    ok = [t for t in traces if t.ok]
+    if not ok:
+        findings.append(Finding(
+            code="SYN002",
+            message=f"no successful traces among {len(traces)} — the "
+                    f"cloner fits timing from completed requests only",
+            path=path, severity=Severity.ERROR))
+        return findings
+    entries = sorted({t.root.service for t in ok})
+    if len(entries) > 1:
+        findings.append(Finding(
+            code="SYN002",
+            message=f"traces disagree on the entry tier "
+                    f"({', '.join(entries)}) — clone one application's "
+                    f"export at a time",
+            path=path, severity=Severity.ERROR))
+    counts = {}
+    for trace in ok:
+        for span in trace.root.walk():
+            counts[span.service] = counts.get(span.service, 0) + 1
+    thin = [f"{svc} ({n})" for svc, n in sorted(counts.items())
+            if n < min_samples]
+    if thin:
+        findings.append(Finding(
+            code="SYN002",
+            message=f"tiers with fewer than {min_samples} span "
+                    f"samples: {', '.join(thin)}",
+            path=path, severity=Severity.WARNING))
+    return findings

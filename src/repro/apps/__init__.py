@@ -1,9 +1,12 @@
-"""The DeathStarBench application suite (Sec. 3)."""
+"""The DeathStarBench application suite (Sec. 3), plus the synthetic
+generator/cloner namespace (:mod:`repro.apps.synth`)."""
 
 from .banking import build_banking
 from .ecommerce import build_ecommerce
 from .media_service import build_media_service
-from .registry import APP_BUILDERS, app_names, build_app, build_monolith
+from .registry import (APP_BUILDERS, app_names, build_app,
+                       build_monolith, register_app, reset_registry,
+                       unregister_app)
 from .social_network import build_social_network
 from .swarm import build_swarm_cloud, build_swarm_edge
 
@@ -18,4 +21,7 @@ __all__ = [
     "build_social_network",
     "build_swarm_cloud",
     "build_swarm_edge",
+    "register_app",
+    "reset_registry",
+    "unregister_app",
 ]

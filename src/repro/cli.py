@@ -58,6 +58,23 @@ Commands
     sticky-routing ablation and reports the goodput ratio; ``--out``
     writes JSON; ``--max-mttr`` gates the exit code (CI's region-smoke
     hook), as does a broken no-fault baseline.
+``synth generate SPEC``
+    Build a parametric synthetic topology (``synth:PATTERN:nSIZE:
+    seedSEED``, six patterns from sequential chain to random mesh) and
+    emit its canonical byte-stable topology JSON.  Every command that
+    takes an APP also accepts these specs directly
+    (``repro simulate synth:mesh:n32:seed7 ...``).
+``synth clone TRACES_FILE --name NAME``
+    Infer a matching application from an exported trace set (OTLP from
+    ``simulate --traces-out`` or schema-v2 JSON): call-graph structure,
+    serial-vs-parallel dispatch, per-tier service-time distributions,
+    and payload sizes.  ``--validate`` re-simulates the clone and gates
+    (exit code) on the per-tier p50/p95/p99 fidelity tolerance;
+    ``--report`` writes the comparison as JSON.
+``synth matrix``
+    Sweep patterns x sizes x seeds; each cell smoke-runs a clean
+    baseline plus a chaos scenario and lands in one consolidated
+    byte-stable report (markdown to stdout, JSON via ``--out``).
 ``provision APP --qps N``
     Print the balanced replica allocation (Sec. 3.8) for a target load.
 ``sweep APP --qps A B C``
@@ -120,6 +137,17 @@ def _cmd_describe(args) -> int:
         ["operation", "mix", "RPCs", "depth", "CPU work (us)"], rows,
         title="operations"))
     return 0
+
+
+def _app_arg(text: str) -> str:
+    """An application name: a registered app, or a ``synth:`` generator
+    spec (``synth:PATTERN:nSIZE:seedSEED``) resolved on demand."""
+    if text in app_names() or text.startswith("synth:"):
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown application {text!r}; choose from "
+        f"{', '.join(app_names())} or a generator spec like "
+        f"synth:mesh:n32:seed7")
 
 
 def _nonnegative_int(text: str) -> int:
@@ -762,6 +790,88 @@ def _add_sampling_flags(parser) -> None:
         help="sampling seed (independent of the simulation seed)")
 
 
+def _cmd_synth_generate(args) -> int:
+    from .apps.synth import parse_spec, generate, topology_json
+    app = generate(parse_spec(args.spec))
+    payload = topology_json(app)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        print(f"{app.name}: {len(app.services)} services, "
+              f"{len(app.operations)} operations; topology written "
+              f"to {args.out}")
+    else:
+        print(payload, end="")
+    return 0
+
+
+def _cmd_synth_clone(args) -> int:
+    from .apps.synth import (CloneConfig, clone_from_traces,
+                             load_traces, topology_json,
+                             validate_clone)
+    with open(args.traces) as fh:
+        traces = load_traces(fh.read())
+    config = CloneConfig(min_service_samples=args.min_samples)
+    result = clone_from_traces(traces, name=args.name, config=config)
+    app = result.app
+    print(f"{app.name}: cloned {len(app.services)} services, "
+          f"{len(app.operations)} operations from "
+          f"{result.used_traces}/{result.source_traces} traces")
+    for finding in result.warnings:
+        print(f"warning: {finding.code} {finding.message}",
+              file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(topology_json(app))
+        print(f"topology written to {args.out}")
+    if not args.validate:
+        return 0
+    report = validate_clone(traces, result, qps=args.qps,
+                            duration=args.duration,
+                            n_machines=args.machines, seed=args.seed)
+    print()
+    print(report.render())
+    if report.skipped_tiers:
+        print(f"skipped (too few samples): "
+              f"{', '.join(report.skipped_tiers)}")
+    if args.report:
+        import json as _json
+        with open(args.report, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fidelity report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+def _cmd_synth_matrix(args) -> int:
+    from .apps.synth import MatrixSpec, run_matrix
+    spec = MatrixSpec(
+        patterns=tuple(args.patterns), sizes=tuple(args.sizes),
+        seeds=tuple(args.seeds), qps=args.qps,
+        duration=args.duration, n_machines=args.machines,
+        scenario=None if args.scenario == "none" else args.scenario)
+    report = run_matrix(
+        spec, progress=(None if args.quiet else
+                        lambda line: print(line, file=sys.stderr)))
+    print(report.render_markdown())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+        print(f"matrix report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+_SYNTH_COMMANDS = {
+    "generate": _cmd_synth_generate,
+    "clone": _cmd_synth_clone,
+    "matrix": _cmd_synth_matrix,
+}
+
+
+def _cmd_synth(args) -> int:
+    return _SYNTH_COMMANDS[args.synth_kind](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -771,10 +881,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list suite applications")
 
     p = sub.add_parser("describe", help="describe one application")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
 
     p = sub.add_parser("simulate", help="run one app under load")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=100.0)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--machines", type=int, default=6)
@@ -804,7 +914,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_sub = p.add_subparsers(dest="report_kind", required=True)
     p = report_sub.add_parser(
         "qos", help="attribute QoS violations to culprit tiers")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=100.0)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--machines", type=int, default=6)
@@ -832,7 +942,7 @@ def build_parser() -> argparse.ArgumentParser:
         "degradation",
         help="run with graceful degradation armed and report the "
              "brownout trajectory and per-class goodput/utility")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=100.0)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--machines", type=int, default=6)
@@ -851,7 +961,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = report_sub.add_parser(
         "critical-path",
         help="aggregated per-tier critical-path breakdown")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=100.0)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--machines", type=int, default=6)
@@ -862,7 +972,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "profile", help="flight-record the simulator's own runtime")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=80.0)
     p.add_argument("--duration", type=float, default=10.0)
     p.add_argument("--machines", type=int, default=6)
@@ -900,7 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "chaos", help="run chaos scenarios and print scorecards")
-    p.add_argument("app", nargs="?", choices=app_names())
+    p.add_argument("app", nargs="?", type=_app_arg, metavar="APP")
     p.add_argument("--scenario", action="append", default=[],
                    metavar="NAME",
                    help="scenario to run (repeatable; default: the "
@@ -930,7 +1040,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "region", help="multi-region failover experiment")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=60.0,
                    help="global offered load across all populations")
     p.add_argument("--duration", type=float, default=25.0)
@@ -962,18 +1072,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the scorecards as JSON to FILE")
 
+    p = sub.add_parser(
+        "synth", help="synthetic topologies: generate, clone, matrix")
+    synth_sub = p.add_subparsers(dest="synth_kind", required=True)
+    p = synth_sub.add_parser(
+        "generate", help="build a parametric topology and emit its "
+                         "canonical JSON")
+    p.add_argument("spec", metavar="SPEC",
+                   help="generator spec, e.g. synth:mesh:n32:seed7")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write topology JSON to FILE instead of stdout")
+    p = synth_sub.add_parser(
+        "clone", help="infer an application from an exported trace "
+                      "set (OTLP or schema-v2 JSON)")
+    p.add_argument("traces", metavar="TRACES_FILE",
+                   help="trace export file (repro simulate "
+                        "--traces-out, or repro.tracing JSON)")
+    p.add_argument("--name", default="clone",
+                   help="name for the cloned application")
+    p.add_argument("--min-samples", type=_nonnegative_int, default=20,
+                   help="span samples per tier below which a SYN002 "
+                        "warning is raised")
+    p.add_argument("--validate", action="store_true",
+                   help="re-simulate the clone and gate on the "
+                        "per-tier percentile fidelity tolerance")
+    p.add_argument("--qps", type=float, default=100.0,
+                   help="validation load (match the source export)")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the clone's topology JSON to FILE")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the fidelity report JSON to FILE "
+                        "(with --validate)")
+    p = synth_sub.add_parser(
+        "matrix", help="patterns x sizes x seeds scenario sweep with "
+                       "baseline + chaos smoke runs")
+    p.add_argument("--patterns", nargs="+",
+                   default=["chain", "fanout", "branch", "tree",
+                            "ptree", "mesh"],
+                   help="topology patterns to sweep")
+    p.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32],
+                   help="service counts to sweep")
+    p.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
+                   help="generator seeds to sweep")
+    p.add_argument("--qps", type=float, default=120.0)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--scenario", default="machine_crash",
+                   help="chaos scenario per cell ('none' skips the "
+                        "fault leg)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the consolidated report JSON to FILE")
+
     p = sub.add_parser("provision", help="balanced provisioning")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, default=300.0)
     p.add_argument("--util", type=float, default=0.6)
 
     p = sub.add_parser("sweep", help="analytic load sweep")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
     p.add_argument("--qps", type=float, nargs="+",
                    default=[50, 100, 200, 400, 800])
 
     p = sub.add_parser("dot", help="dependency graph in DOT format")
-    p.add_argument("app", choices=app_names())
+    p.add_argument("app", type=_app_arg, metavar="APP")
 
     p = sub.add_parser(
         "lint", help="simulation-safety static analysis and "
@@ -986,7 +1152,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "--format json)")
     p.add_argument("--format", choices=("text", "json", "sarif"),
                    default="text", help="report format")
-    p.add_argument("--app", choices=app_names(), default=None,
+    p.add_argument("--app", type=_app_arg, default=None,
                    help="flow-analysis mode: check one application's "
                         "deployment plan (CAP/DLINE/CFG) at --load")
     p.add_argument("--load", type=_positive_float, default=None,
@@ -1008,6 +1174,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "chaos": _cmd_chaos,
     "region": _cmd_region,
+    "synth": _cmd_synth,
     "provision": _cmd_provision,
     "sweep": _cmd_sweep,
     "dot": _cmd_dot,

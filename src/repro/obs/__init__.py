@@ -1,7 +1,8 @@
 """Sim-time observability: metrics registry, instrumentation, QoS
 attribution, and standard exporters (Sec. 7's monitoring surface)."""
 
-from .exporters import to_prometheus_text, traces_to_otlp_json
+from .exporters import (otlp_json_to_traces, to_prometheus_text,
+                        traces_to_otlp_json)
 from .profile import FlightRecorder, profile_simulation
 from .instrument import (
     instrument_autoscaler,
@@ -46,5 +47,6 @@ __all__ = [
     "FlightRecorder",
     "profile_simulation",
     "to_prometheus_text",
+    "otlp_json_to_traces",
     "traces_to_otlp_json",
 ]

@@ -27,7 +27,8 @@ from ..resilience.status import STATUS_OK
 from ..tracing.span import Span, Trace
 from .registry import MetricsRegistry
 
-__all__ = ["to_prometheus_text", "traces_to_otlp_json"]
+__all__ = ["to_prometheus_text", "traces_to_otlp_json",
+           "otlp_json_to_traces"]
 
 
 def _fmt(value: float) -> str:
@@ -173,3 +174,97 @@ def traces_to_otlp_json(traces: Iterable[Trace],
         }],
     } for service, spans in by_service.items()]
     return json.dumps({"resourceSpans": resource_spans}, indent=indent)
+
+
+def _attr_value(encoded: dict):
+    """Decode one OTLP ``AnyValue`` produced by :func:`_attr`."""
+    if "boolValue" in encoded:
+        return bool(encoded["boolValue"])
+    if "intValue" in encoded:
+        return int(encoded["intValue"])
+    if "doubleValue" in encoded:
+        return float(encoded["doubleValue"])
+    return encoded.get("stringValue", "")
+
+
+#: ``repro.*`` span attributes that map to first-class Span fields
+#: rather than free-form annotations.
+_CORE_ATTRS = frozenset({
+    "repro.status", "repro.retry_count", "repro.app_time_us",
+    "repro.net_time_us", "repro.net_process_time_us",
+    "repro.block_time_us", "repro.user",
+})
+
+
+def otlp_json_to_traces(payload: str) -> List[Trace]:
+    """Rebuild traces from :func:`traces_to_otlp_json` output.
+
+    The inverse mapping: span ids are ``{trace_idx:08x}{preorder:08x}``
+    so sorting children by id restores dispatch order, and traces sort
+    by their 32-hex trace id back into export order.  ``repro.*``
+    attributes beyond the core timing/status set become
+    :attr:`~repro.tracing.span.Span.annotations` again (prefix
+    stripped); microsecond-rounded timing attributes come back as
+    exported, so re-exporting is byte-identical while sub-microsecond
+    residue stays lost (documented one-way rounding).
+    """
+    data = json.loads(payload)
+    spans: dict = {}
+    parents: dict = {}
+    for resource in data.get("resourceSpans", []):
+        service = ""
+        for attr in resource.get("resource", {}).get("attributes", []):
+            if attr.get("key") == "service.name":
+                service = _attr_value(attr.get("value", {}))
+        for scope in resource.get("scopeSpans", []):
+            for record in scope.get("spans", []):
+                attrs = {a["key"]: _attr_value(a.get("value", {}))
+                         for a in record.get("attributes", [])}
+                annotations = {
+                    key[len("repro."):]: value
+                    for key, value in attrs.items()
+                    if key.startswith("repro.")
+                    and key not in _CORE_ATTRS
+                }
+                span = Span(
+                    service=service,
+                    operation=record.get("name", ""),
+                    start=int(record["startTimeUnixNano"]) / 1e9,
+                    end=int(record["endTimeUnixNano"]) / 1e9,
+                    app_time=attrs.get("repro.app_time_us", 0) / 1e6,
+                    net_time=attrs.get("repro.net_time_us", 0) / 1e6,
+                    net_process_time=attrs.get(
+                        "repro.net_process_time_us", 0) / 1e6,
+                    block_time=attrs.get("repro.block_time_us",
+                                         0) / 1e6,
+                    status=attrs.get("repro.status", "ok"),
+                    retries=attrs.get("repro.retry_count", 0),
+                    annotations=annotations,
+                )
+                key = (record["traceId"], record["spanId"])
+                spans[key] = (span, attrs.get("repro.user"))
+                parents[key] = record.get("parentSpanId", "")
+
+    children: dict = {}
+    roots: dict = {}
+    for (trace_id, span_id), parent in parents.items():
+        if parent:
+            children.setdefault((trace_id, parent), []).append(span_id)
+        else:
+            roots[trace_id] = span_id
+
+    def attach(trace_id: str, span_id: str) -> Span:
+        span, _ = spans[(trace_id, span_id)]
+        span.children = [
+            attach(trace_id, child)
+            for child in sorted(children.get((trace_id, span_id), []))
+        ]
+        return span
+
+    traces = []
+    for trace_id in sorted(roots):
+        root, user = spans[(trace_id, roots[trace_id])]
+        traces.append(Trace(operation=root.operation,
+                            root=attach(trace_id, roots[trace_id]),
+                            user=user))
+    return traces

@@ -11,7 +11,11 @@ Schema history
 * **v1** — a bare JSON array of span records.
 * **v2** (current) — an envelope ``{"schemaVersion": 2, "spans":
   [...]}``; span tags carry the per-span terminal ``status`` and
-  ``retries`` count as first-class round-tripped annotations.
+  ``retries`` count as first-class round-tripped annotations, and
+  spans with free-form :attr:`~repro.tracing.span.Span.annotations`
+  (degradation events, geo-failover marks, sampling weights) carry
+  them in a key-sorted ``annotations`` object so export → import →
+  export is byte-identical.
 
 :func:`traces_from_json` accepts both versions.
 """
@@ -38,7 +42,7 @@ def span_records(trace: Trace, trace_id: int) -> List[dict]:
     def visit(span: Span, parent_id: str) -> None:
         span_id = f"{trace_id:08x}.{counter[0]:04x}"
         counter[0] += 1
-        records.append({
+        record = {
             "traceId": f"{trace_id:08x}",
             "id": span_id,
             "parentId": parent_id or None,
@@ -55,7 +59,13 @@ def span_records(trace: Trace, trace_id: int) -> List[dict]:
                 "retries": span.retries,
                 "user": trace.user,
             },
-        })
+        }
+        if span.annotations:
+            record["annotations"] = {
+                key: span.annotations[key]
+                for key in sorted(span.annotations)
+            }
+        records.append(record)
         for child in span.children:
             visit(child, span_id)
 
@@ -86,6 +96,7 @@ def _build_span(record: dict) -> Span:
         block_time=tags.get("block_us", 0) / 1e6,
         status=tags.get("status", "ok"),
         retries=tags.get("retries", 0),
+        annotations=dict(record.get("annotations", {})),
     )
 
 

@@ -1,0 +1,97 @@
+"""Tests for the ``repro synth`` command family.
+
+The CLI is the surface CI drives: ``generate`` must be byte-stable,
+``clone --validate`` must gate its exit code on the fidelity report,
+``matrix`` must emit the markdown + JSON pair, and every app-taking
+command must accept ``synth:`` generator specs.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_writes_canonical_json_to_stdout(capsys):
+    assert main(["synth", "generate", "synth:chain:n8:seed1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "synth:chain:n8:seed1"
+    assert len(payload["services"]) == 8
+
+
+def test_generate_out_file_is_byte_stable(tmp_path, capsys):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(["synth", "generate", "synth:mesh:n16:seed4",
+                 "--out", str(first)]) == 0
+    assert main(["synth", "generate", "synth:mesh:n16:seed4",
+                 "--out", str(second)]) == 0
+    assert "topology written to" in capsys.readouterr().out
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_generate_rejects_malformed_spec():
+    with pytest.raises(ValueError):
+        main(["synth", "generate", "synth:mesh:16:4"])
+
+
+def test_simulate_accepts_generator_specs(capsys):
+    assert main(["simulate", "synth:tree:n8:seed2", "--qps", "20",
+                 "--duration", "4", "--machines", "3"]) == 0
+    assert "p99" in capsys.readouterr().out
+
+
+def test_simulate_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["simulate", "petstore", "--qps", "20",
+              "--duration", "4"])
+
+
+def test_clone_validate_gates_exit_on_fidelity(tmp_path, capsys):
+    traces = tmp_path / "traces.json"
+    assert main(["simulate", "synth:tree:n16:seed3", "--qps", "40",
+                 "--duration", "8", "--machines", "3",
+                 "--seed", "2", "--traces-out", str(traces)]) == 0
+    capsys.readouterr()
+    report = tmp_path / "fidelity.json"
+    topo = tmp_path / "clone.json"
+    assert main(["synth", "clone", str(traces), "--name", "t16-clone",
+                 "--validate", "--qps", "40", "--duration", "8",
+                 "--machines", "3", "--seed", "5",
+                 "--out", str(topo), "--report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "t16-clone: cloned 16 services" in out
+    assert "(end-to-end)" in out
+    fidelity = json.loads(report.read_text())
+    assert fidelity["ok"] is True
+    assert fidelity["compared_tiers"] >= 5
+    assert json.loads(topo.read_text())["name"] == "t16-clone"
+
+
+def test_matrix_emits_markdown_and_json(tmp_path, capsys):
+    out = tmp_path / "matrix.json"
+    assert main(["synth", "matrix", "--patterns", "chain", "fanout",
+                 "--sizes", "8", "--seeds", "1", "--qps", "40",
+                 "--duration", "6", "--machines", "3",
+                 "--scenario", "none", "--quiet",
+                 "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "# synth scenario matrix" in stdout
+    assert "synth:fanout:n8:seed1" in stdout
+    report = json.loads(out.read_text())
+    assert report["ok"] is True
+    assert len(report["cells"]) == 2
+
+
+def test_matrix_chaos_leg_reported(tmp_path, capsys):
+    out = tmp_path / "matrix.json"
+    assert main(["synth", "matrix", "--patterns", "tree",
+                 "--sizes", "12", "--seeds", "2", "--qps", "40",
+                 "--duration", "8", "--machines", "3",
+                 "--scenario", "machine_crash", "--quiet",
+                 "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    (cell,) = report["cells"]
+    assert cell["chaos"]["scenario"] == "machine_crash"
+    assert cell["chaos"]["fault_count"] >= 1

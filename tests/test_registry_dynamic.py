@@ -1,0 +1,107 @@
+"""Tests for dynamic app registration and the registry reset hooks.
+
+The registry is the single entry point every harness resolves apps
+through, so its invariants matter: duplicate dynamic registration must
+fail loudly (a clone landing on a taken name is a bug, not an update),
+unregistering must also drop the cached validation verdict (the matrix
+runner leans on this between cells), and ``synth:`` specs must resolve
+without any registration at all.
+"""
+
+import pytest
+
+from repro.apps import (app_names, build_app, register_app,
+                        reset_registry, unregister_app)
+from repro.apps.registry import _VALIDATED, APP_BUILDERS
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+def _fixture_app():
+    return build_app("banking")
+
+
+class TestRegisterApp:
+    def test_registered_app_resolves_and_lists(self):
+        register_app("myapp", _fixture_app)
+        assert "myapp" in app_names()
+        assert build_app("myapp").name == "banking"
+
+    def test_duplicate_dynamic_name_raises(self):
+        register_app("myapp", _fixture_app)
+        with pytest.raises(ValueError, match="already registered"):
+            register_app("myapp", _fixture_app)
+
+    def test_builtin_name_collision_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_app("social_network", _fixture_app)
+
+    def test_synth_prefix_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_app("synth:mine", _fixture_app)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_app("", _fixture_app)
+
+    def test_builtins_stay_first_in_app_names(self):
+        register_app("aaa-clone", _fixture_app)
+        names = app_names()
+        assert names[:len(APP_BUILDERS)] == list(APP_BUILDERS)
+        assert names[-1] == "aaa-clone"
+
+
+class TestUnregisterApp:
+    def test_unregister_removes_name_and_cache(self):
+        register_app("myapp", _fixture_app)
+        build_app("myapp")
+        assert "myapp" in _VALIDATED
+        unregister_app("myapp")
+        assert "myapp" not in app_names()
+        assert "myapp" not in _VALIDATED
+
+    def test_unregister_builtin_raises(self):
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_app("banking")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            unregister_app("nope")
+
+    def test_unregister_clears_synth_spec_cache(self):
+        build_app("synth:chain:n4:seed1")
+        assert "synth:chain:n4:seed1" in _VALIDATED
+        unregister_app("synth:chain:n4:seed1")
+        assert "synth:chain:n4:seed1" not in _VALIDATED
+
+    def test_reset_registry_clears_everything(self):
+        register_app("myapp", _fixture_app)
+        build_app("myapp")
+        build_app("synth:chain:n4:seed1")
+        reset_registry()
+        assert "myapp" not in app_names()
+        assert not _VALIDATED
+
+
+class TestSynthSpecs:
+    def test_spec_builds_without_registration(self):
+        app = build_app("synth:tree:n8:seed2")
+        assert app.name == "synth:tree:n8:seed2"
+        assert len(app.services) == 8
+
+    def test_spec_validates_once_then_caches(self):
+        build_app("synth:tree:n8:seed2")
+        assert _VALIDATED.get("synth:tree:n8:seed2")
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(ValueError):
+            build_app("synth:tree:8:2")
+
+    def test_unknown_name_mentions_specs(self):
+        with pytest.raises(ValueError, match="generator spec"):
+            build_app("petstore")

@@ -16,7 +16,7 @@ from repro.analysis_static.cli import main as lint_main
 from repro.analysis_static.report import exit_code, explain_rules
 from repro.analysis_static.rules import ALL_RULES, Finding, Severity
 
-CODE_RE = re.compile(r"^(SIM|TOPO|FAULT|CAP|DLINE|CFG|DEG)\d{3}$")
+CODE_RE = re.compile(r"^(SIM|TOPO|FAULT|CAP|DLINE|CFG|DEG|SYN)\d{3}$")
 
 EXPECTED_FAMILIES = {
     "SIM": 7,     # determinism hazards + SIM006 meta + SIM007 sampling
@@ -26,6 +26,7 @@ EXPECTED_FAMILIES = {
     "DLINE": 4,   # deadline propagation feasibility
     "CFG": 4,     # cross-layer policy consistency
     "DEG": 4,     # graceful-degradation policy consistency
+    "SYN": 2,     # synthetic-topology generation + trace cloning
 }
 
 

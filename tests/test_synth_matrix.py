@@ -1,0 +1,90 @@
+"""Tests for the scenario-matrix harness.
+
+The matrix's contract is byte-stability: the same spec must produce
+the same report bytes run-to-run, because CI gates on a literal diff
+of two runs.  The chaos leg must actually inject faults, and the
+markdown rendering must carry one row per cell.
+"""
+
+import pytest
+
+from repro.apps import app_names, reset_registry
+from repro.apps.synth import MatrixReport, MatrixSpec, run_matrix
+
+SMALL = MatrixSpec(patterns=("chain", "fanout"), sizes=(8,),
+                   seeds=(1,), qps=40, duration=6, n_machines=3,
+                   scenario=None)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestSpec:
+    def test_default_sweep_covers_the_acceptance_grid(self):
+        spec = MatrixSpec()
+        cells = spec.cells()
+        assert len(cells) == 6 * 3 * 2
+        assert len({pattern for pattern, _, _ in cells}) >= 5
+        assert len({size for _, size, _ in cells}) == 3
+
+    def test_cells_enumerate_in_spec_order(self):
+        assert SMALL.cells() == [("chain", 8, 1), ("fanout", 8, 1)]
+
+
+class TestRunMatrix:
+    def test_report_is_byte_stable_across_runs(self):
+        first = run_matrix(SMALL)
+        second = run_matrix(SMALL)
+        assert first.to_json() == second.to_json()
+        assert first.render_markdown() == second.render_markdown()
+
+    def test_small_matrix_passes_and_leaves_registry_clean(self):
+        report = run_matrix(SMALL)
+        assert report.ok
+        assert len(report.cells) == 2
+        for cell in report.cells:
+            assert cell.services == 8
+            assert cell.baseline_completion > 0.9
+            assert "chaos" not in cell.to_dict()
+        assert not [n for n in app_names() if n.startswith("synth:")]
+
+    def test_chaos_leg_injects_faults(self):
+        spec = MatrixSpec(patterns=("tree",), sizes=(12,), seeds=(2,),
+                          qps=40, duration=8, n_machines=3,
+                          scenario="machine_crash")
+        report = run_matrix(spec)
+        (cell,) = report.cells
+        assert cell.chaos_scenario == "machine_crash"
+        assert cell.chaos_fault_count >= 1
+        assert "chaos" in cell.to_dict()
+
+    def test_markdown_has_one_row_per_cell(self):
+        report = run_matrix(SMALL)
+        rows = [line for line in report.render_markdown().splitlines()
+                if line.startswith("| synth:")]
+        assert len(rows) == 2
+        assert "synth:chain:n8:seed1" in rows[0]
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        run_matrix(SMALL, progress=seen.append)
+        assert len(seen) == 2
+        assert all("baseline" in line for line in seen)
+
+
+class TestReportShape:
+    def test_empty_report_is_not_ok(self):
+        assert not MatrixReport(spec=SMALL).ok
+
+    def test_json_embeds_the_spec(self):
+        report = run_matrix(MatrixSpec(patterns=("chain",), sizes=(8,),
+                                       seeds=(1,), qps=40, duration=6,
+                                       n_machines=3, scenario=None))
+        data = report.to_dict()
+        assert data["spec"]["patterns"] == ["chain"]
+        assert data["spec"]["scenario"] is None
+        assert data["report"] == "synth-matrix"
